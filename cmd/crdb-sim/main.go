@@ -1,0 +1,129 @@
+// Command crdb-sim starts a local Serverless deployment and offers an
+// interactive SQL shell against it: a quick way to see cluster
+// virtualization, scale-to-zero, and cold starts working.
+//
+// Usage:
+//
+//	crdb-sim                      # shell on tenant "demo"
+//	crdb-sim -tenant acme         # shell on a different tenant
+//	crdb-sim -exec "SHOW TABLES"  # one-shot statement
+//
+// Shell meta-commands:
+//
+//	\tenants        list virtual clusters
+//	\suspend NAME   scale a tenant to zero
+//	\pods           show SQL pods per tenant
+//	\q              quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crdbserverless"
+	"crdbserverless/internal/wire"
+)
+
+func main() {
+	var (
+		tenant = flag.String("tenant", "demo", "tenant (virtual cluster) to connect to")
+		exec   = flag.String("exec", "", "run one statement and exit")
+	)
+	flag.Parse()
+
+	srv, err := crdbserverless.New(crdbserverless.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	if _, err := srv.CreateTenant(ctx, *tenant, crdbserverless.TenantOptions{}); err != nil {
+		fatal(err)
+	}
+	conn, err := srv.Connect(*tenant, "")
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	if *exec != "" {
+		if err := runStatement(conn, *exec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("crdb-sim: connected to virtual cluster %q (type \\q to quit)\n", *tenant)
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("sql> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case line == `\tenants`:
+			for _, t := range srv.Registry().List() {
+				fmt.Printf("  %-16s id=%d state=%s regions=%v\n", t.Name, t.ID, t.State, t.Regions)
+			}
+		case line == `\pods`:
+			for _, t := range srv.Registry().List() {
+				pods := srv.Orchestrator("us-central1").PodsForTenant(t.Name)
+				fmt.Printf("  %-16s %d pod(s)\n", t.Name, len(pods))
+			}
+		case strings.HasPrefix(line, `\suspend `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\suspend`))
+			if err := srv.Suspend(ctx, name); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%s suspended (scaled to zero)\n", name)
+			}
+		default:
+			if err := runStatement(conn, line); err != nil {
+				fmt.Println("error:", err)
+				// A dropped backend (e.g. after suspend) needs a reconnect —
+				// which is itself a cold start.
+				if c2, cerr := srv.Connect(*tenant, ""); cerr == nil {
+					conn.Close()
+					conn = c2
+					fmt.Println("(reconnected — cold start)")
+				}
+			}
+		}
+		fmt.Print("sql> ")
+	}
+}
+
+func runStatement(conn *crdbserverless.Client, stmt string) error {
+	res, err := conn.Query(stmt)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+func printResult(res *wire.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Printf("OK (%d row(s) affected)\n", res.RowsAffected)
+		return
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, d := range row {
+			parts[i] = d.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crdb-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,329 @@
+// Package crdbserverless is a from-scratch reproduction of "CockroachDB
+// Serverless: Sub-second Scaling from Zero with Multi-region Cluster
+// Virtualization" (SIGMOD-Companion 2025): a multi-tenant, serverless,
+// multi-region SQL database built as cluster virtualization over a shared
+// transactional KV layer.
+//
+// A Serverless value assembles the whole system: the shared KV cluster
+// (ranges, replication, admission control), the cluster-virtualization layer
+// (tenant keyspaces and the SQL/KV security boundary), and the per-region
+// serving fabric (routing proxies, pre-warmed SQL node pools, autoscalers).
+//
+// Quickstart:
+//
+//	srv, _ := crdbserverless.New(crdbserverless.Options{})
+//	defer srv.Close()
+//	srv.CreateTenant(ctx, "acme", crdbserverless.TenantOptions{})
+//	conn, _ := srv.Connect("acme", "")
+//	conn.Query("CREATE TABLE t (id INT PRIMARY KEY, v STRING)")
+package crdbserverless
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"crdbserverless/internal/autoscaler"
+	"crdbserverless/internal/core"
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/orchestrator"
+	"crdbserverless/internal/proxy"
+	"crdbserverless/internal/region"
+	"crdbserverless/internal/sql"
+	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/txn"
+	"crdbserverless/internal/wire"
+)
+
+// Re-exported types so applications only import this package.
+type (
+	// Tenant is a virtual cluster's control-plane record.
+	Tenant = core.Tenant
+	// TenantOptions configure CreateTenant.
+	TenantOptions = core.TenantOptions
+	// Region names a cloud region.
+	Region = region.Region
+	// Client is a SQL connection.
+	Client = wire.Client
+	// Result is a statement result returned by Client.Query.
+	Result = wire.Result
+	// Session is an in-process SQL session (benchmarks bypass the wire).
+	Session = sql.Session
+	// Datum is a SQL value.
+	Datum = sql.Datum
+)
+
+// Datum constructors, re-exported.
+var (
+	// DInt makes an INT datum.
+	DInt = sql.DInt
+	// DString makes a STRING datum.
+	DString = sql.DString
+	// DFloat makes a FLOAT datum.
+	DFloat = sql.DFloat
+	// DBool makes a BOOL datum.
+	DBool = sql.DBool
+)
+
+// Options configure a Serverless deployment.
+type Options struct {
+	// Regions to deploy in. Defaults to a single region, "us-central1".
+	// Multi-region deployments get one proxy/orchestrator/autoscaler per
+	// region over one global KV cluster (§4.2.5).
+	Regions []Region
+	// KVNodesPerRegion is the shared KV fleet size per region. Default 3.
+	KVNodesPerRegion int
+	// KVNodeVCPUs is each KV node's CPU capacity. Default 8.
+	KVNodeVCPUs int
+	// WarmPoolSize is the pre-warmed SQL pod pool per region. Default 4.
+	WarmPoolSize int
+	// AdmissionControl enables per-node admission control (§5.1).
+	AdmissionControl bool
+	// Clock defaults to the real clock; experiments pass a manual clock.
+	Clock timeutil.Clock
+	// CostConfig overrides the KV ground-truth CPU cost model.
+	CostConfig *kvserver.CostConfig
+}
+
+// Serverless is a running deployment.
+type Serverless struct {
+	opts     Options
+	topology *region.Topology
+	dns      *region.DNS
+
+	cluster  *kvserver.Cluster
+	registry *core.Registry
+	buckets  *tenantcost.BucketServer
+
+	orchestrators map[Region]*orchestrator.Orchestrator
+	autoscalers   map[Region]*autoscaler.Autoscaler
+	proxies       map[Region]*proxy.Proxy
+}
+
+// New assembles and starts a deployment.
+func New(opts Options) (*Serverless, error) {
+	if len(opts.Regions) == 0 {
+		opts.Regions = []Region{"us-central1"}
+	}
+	if opts.KVNodesPerRegion <= 0 {
+		opts.KVNodesPerRegion = 3
+	}
+	if opts.KVNodeVCPUs <= 0 {
+		opts.KVNodeVCPUs = 8
+	}
+	if opts.WarmPoolSize <= 0 {
+		opts.WarmPoolSize = 4
+	}
+	if opts.Clock == nil {
+		opts.Clock = timeutil.NewRealClock()
+	}
+	cost := kvserver.DefaultCostConfig()
+	if opts.CostConfig != nil {
+		cost = *opts.CostConfig
+	}
+
+	topology := region.DefaultTopology()
+	s := &Serverless{
+		opts:          opts,
+		topology:      topology,
+		dns:           region.NewDNS(topology),
+		orchestrators: make(map[Region]*orchestrator.Orchestrator),
+		autoscalers:   make(map[Region]*autoscaler.Autoscaler),
+		proxies:       make(map[Region]*proxy.Proxy),
+	}
+
+	// The shared KV cluster spans all regions.
+	var nodes []*kvserver.Node
+	id := kvserver.NodeID(1)
+	for _, r := range opts.Regions {
+		for i := 0; i < opts.KVNodesPerRegion; i++ {
+			nodes = append(nodes, kvserver.NewNode(kvserver.NodeConfig{
+				ID:               id,
+				VCPUs:            opts.KVNodeVCPUs,
+				Region:           string(r),
+				Clock:            opts.Clock,
+				Cost:             cost,
+				AdmissionEnabled: opts.AdmissionControl,
+			}))
+			id++
+		}
+	}
+	cluster, err := kvserver.NewCluster(kvserver.ClusterConfig{Clock: opts.Clock}, nodes)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+	cluster.SetRowDecoder(sql.KVRowDecoder())
+	s.buckets = tenantcost.NewBucketServer(opts.Clock)
+	s.registry, err = core.NewRegistry(cluster, s.buckets)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+
+	for _, r := range opts.Regions {
+		orch, err := orchestrator.New(orchestrator.Config{
+			Cluster:         cluster,
+			Registry:        s.registry,
+			Buckets:         s.buckets,
+			Clock:           opts.Clock,
+			Region:          r,
+			WarmPoolSize:    opts.WarmPoolSize,
+			PreStartProcess: true,
+			NodeVCPUs:       4,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.orchestrators[r] = orch
+		s.autoscalers[r] = autoscaler.New(autoscaler.Config{
+			Orchestrator: orch,
+			Registry:     s.registry,
+			Clock:        opts.Clock,
+		})
+		p := proxy.New(proxy.Config{Directory: orch, Clock: opts.Clock})
+		if err := p.Start("127.0.0.1:0"); err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.proxies[r] = p
+	}
+	return s, nil
+}
+
+// CreateTenant provisions a virtual cluster.
+func (s *Serverless) CreateTenant(ctx context.Context, name string, opts TenantOptions) (*Tenant, error) {
+	if len(opts.Regions) == 0 {
+		opts.Regions = s.opts.Regions
+	}
+	for _, r := range opts.Regions {
+		if _, ok := s.proxies[r]; !ok {
+			return nil, fmt.Errorf("crdbserverless: region %s is not deployed", r)
+		}
+	}
+	return s.registry.CreateTenant(ctx, name, opts)
+}
+
+// Connect opens a SQL connection to a tenant through the nearest region's
+// proxy (the geo-routed global DNS name of §4.2.5). If the tenant is
+// suspended this is a cold start: the proxy resumes it transparently.
+func (s *Serverless) Connect(tenantName, password string) (*Client, error) {
+	t, err := s.registry.GetByName(tenantName)
+	if err != nil {
+		return nil, err
+	}
+	regions := t.Regions
+	if len(regions) == 0 {
+		regions = s.opts.Regions
+	}
+	return s.ConnectRegion(regions[0], tenantName, password)
+}
+
+// ConnectRegion connects through a specific region's proxy (the per-region
+// DNS name of §4.2.5).
+func (s *Serverless) ConnectRegion(r Region, tenantName, password string) (*Client, error) {
+	p, ok := s.proxies[r]
+	if !ok {
+		return nil, fmt.Errorf("crdbserverless: region %s is not deployed", r)
+	}
+	return wire.Connect(p.Addr(), map[string]string{
+		"tenant":   tenantName,
+		"user":     "app",
+		"password": password,
+	})
+}
+
+// SQLSession returns an in-process session bound directly to the tenant's
+// keyspace, bypassing proxy and wire — the fast path benchmarks use.
+func (s *Serverless) SQLSession(tenantName string) (*Session, error) {
+	t, err := s.registry.GetByName(tenantName)
+	if err != nil {
+		return nil, err
+	}
+	ds := kvserver.NewDistSender(s.cluster, kvserver.Identity{Tenant: t.ID})
+	coord := txn.NewCoordinator(ds, s.cluster.Clock(), t.ID)
+	catalog := sql.NewCatalog(coord, t.ID)
+	exec := sql.NewExecutor(catalog, coord, sql.ExecutorConfig{})
+	return sql.NewSession(exec, "app"), nil
+}
+
+// Suspend scales a tenant to zero compute.
+func (s *Serverless) Suspend(ctx context.Context, tenantName string) error {
+	for _, orch := range s.orchestrators {
+		if err := orch.SuspendTenant(ctx, tenantName); err != nil && err != core.ErrTenantNotFound {
+			return err
+		}
+	}
+	// SuspendTenant marks the registry; calling it per-region is idempotent.
+	return nil
+}
+
+// Tick advances periodic maintenance: KV cluster upkeep and every region's
+// autoscaler. Call at ~3s cadence (a manual clock drives experiments).
+func (s *Serverless) Tick(ctx context.Context) error {
+	s.cluster.Tick()
+	for _, a := range s.autoscalers {
+		if err := a.Tick(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the deployment down.
+func (s *Serverless) Close() {
+	for _, p := range s.proxies {
+		p.Close()
+	}
+	for _, o := range s.orchestrators {
+		o.Close()
+	}
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+}
+
+// Registry exposes tenant lifecycle (the system-tenant control surface).
+func (s *Serverless) Registry() *core.Registry { return s.registry }
+
+// Cluster exposes the shared KV cluster.
+func (s *Serverless) Cluster() *kvserver.Cluster { return s.cluster }
+
+// Orchestrator returns a region's pod orchestrator.
+func (s *Serverless) Orchestrator(r Region) *orchestrator.Orchestrator { return s.orchestrators[r] }
+
+// Autoscaler returns a region's autoscaler.
+func (s *Serverless) Autoscaler(r Region) *autoscaler.Autoscaler { return s.autoscalers[r] }
+
+// Proxy returns a region's routing proxy.
+func (s *Serverless) Proxy(r Region) *proxy.Proxy { return s.proxies[r] }
+
+// Buckets returns the tenant token-bucket server (§5.2.2).
+func (s *Serverless) Buckets() *tenantcost.BucketServer { return s.buckets }
+
+// Topology returns the region topology and RTT matrix.
+func (s *Serverless) Topology() *region.Topology { return s.topology }
+
+// TenantID returns a tenant's keyspace ID.
+func (s *Serverless) TenantID(name string) (keys.TenantID, error) {
+	t, err := s.registry.GetByName(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.ID, nil
+}
+
+// WaitIdle is a convenience for tests: it ticks maintenance n times with the
+// given pause on the deployment clock.
+func (s *Serverless) WaitIdle(ctx context.Context, n int, pause time.Duration) error {
+	for i := 0; i < n; i++ {
+		if err := s.Tick(ctx); err != nil {
+			return err
+		}
+		s.opts.Clock.Sleep(pause)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Quickstart: create a Serverless deployment, provision a virtual cluster,
+// and run SQL over the wire protocol through the routing proxy — then watch
+// it scale to zero and cold-start back.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"crdbserverless"
+)
+
+func main() {
+	srv, err := crdbserverless.New(crdbserverless.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	// A "virtual cluster": its own keyspace, schema, and SQL nodes over the
+	// shared KV fleet.
+	if _, err := srv.CreateTenant(ctx, "acme", crdbserverless.TenantOptions{Password: "s3cret"}); err != nil {
+		log.Fatal(err)
+	}
+
+	conn, err := srv.Connect("acme", "s3cret")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mustQuery(conn, "CREATE TABLE accounts (id INT PRIMARY KEY, owner STRING, balance INT)")
+	mustQuery(conn, "INSERT INTO accounts VALUES (1, 'alice', 100), (2, 'bob', 250)")
+	mustQuery(conn, "UPDATE accounts SET balance = balance + 50 WHERE owner = 'alice'")
+
+	res := mustQuery(conn, "SELECT owner, balance FROM accounts ORDER BY balance DESC")
+	fmt.Println("accounts:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8s %s\n", row[0], row[1])
+	}
+
+	// Scale to zero: close the connection and suspend.
+	conn.Close()
+	if err := srv.Suspend(ctx, "acme"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tenant suspended: zero SQL compute allocated")
+
+	// Reconnecting is a cold start: the proxy resumes the tenant and pulls
+	// a pre-warmed SQL node.
+	start := time.Now()
+	conn2, err := srv.Connect("acme", "s3cret")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn2.Close()
+	res = mustQuery(conn2, "SELECT COUNT(*) FROM accounts")
+	fmt.Printf("cold start + first query in %v; row count = %s\n",
+		time.Since(start).Round(time.Millisecond), res.Rows[0][0])
+}
+
+func mustQuery(conn *crdbserverless.Client, q string) *crdbserverless.Result {
+	res, err := conn.Query(q)
+	if err != nil {
+		log.Fatalf("%s: %v", q, err)
+	}
+	return res
+}

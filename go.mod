@@ -1,0 +1,3 @@
+module crdbserverless
+
+go 1.22

@@ -1,0 +1,166 @@
+// Package coldstart models and measures the end-to-end cold-start path: the
+// time from a client connecting to a suspended tenant until its first query
+// returns (§4.3.1, §6.5). The prober decomposes a cold start into the same
+// steps the production system has — pod scheduling, SQL process start,
+// certificate delivery, the TCP reset/retry penalty, the blocking system
+// database reads and writes, authentication, and the first query — and draws
+// each step's latency from calibrated distributions, with cross-region costs
+// taken from the topology's RTT matrix.
+//
+// Two optimizations are modeled exactly as the paper describes:
+//
+//   - Pre-warming (§4.3.1): with a pre-started SQL process, the process
+//     start disappears from the critical path and the client's TCP
+//     connection waits in the accept queue instead of being reset and
+//     retried with backoff (which "effectively doubles the client measured
+//     initialization time").
+//   - Region-aware system database (§3.2.5): GLOBAL system.descriptor makes
+//     the schema reads local in every region, and REGIONAL BY ROW
+//     system.sql_instances makes the registration write local; without
+//     them, every access pays the RTT to the leaseholder region.
+package coldstart
+
+import (
+	"math/rand"
+	"time"
+
+	"crdbserverless/internal/metric"
+	"crdbserverless/internal/randutil"
+	"crdbserverless/internal/region"
+	"crdbserverless/internal/sql"
+)
+
+// Dist is a log-normal latency distribution.
+type Dist struct {
+	Median time.Duration
+	Sigma  float64
+}
+
+// Sample draws one latency.
+func (d Dist) Sample(rng *rand.Rand) time.Duration {
+	if d.Median <= 0 {
+		return 0
+	}
+	return randutil.LogNormal(rng, d.Median, d.Sigma)
+}
+
+// Params calibrate the cold-start step latencies.
+type Params struct {
+	Topology *region.Topology
+	// PodScheduling is the control-plane latency to pick and stamp a warm
+	// pod (K8s reconciliation, §4.2.1: "creating a new Serverless SQL node
+	// takes 3 seconds" without a warm pool; with one, only the stamping
+	// reconciliation remains).
+	PodScheduling Dist
+	// ProcessStart is the SQL process boot time, on the critical path only
+	// in the unoptimized flow ("starting a process in a K8s container may
+	// take up to a second", §6.5.1).
+	ProcessStart Dist
+	// CertDelivery is writing the tenant's mTLS certificates to the pod.
+	CertDelivery Dist
+	// FSWatchDetect is the pre-started process noticing the certificates
+	// (the file system watch of §4.3.1).
+	FSWatchDetect Dist
+	// DescriptorReads is the number of blocking system.descriptor reads at
+	// SQL node startup (schema fetch, §3.2.5).
+	DescriptorReads int
+	// InstanceWrites is the number of blocking system.sql_instances writes
+	// (node discoverability, §3.2.5).
+	InstanceWrites int
+	// AuthAndFirstQuery covers authentication and executing the prober's
+	// SELECT.
+	AuthAndFirstQuery Dist
+}
+
+// DefaultParams returns the calibration used for the Fig 10 reproductions.
+func DefaultParams(top *region.Topology) Params {
+	return Params{
+		Topology:          top,
+		PodScheduling:     Dist{Median: 380 * time.Millisecond, Sigma: 0.25},
+		ProcessStart:      Dist{Median: 450 * time.Millisecond, Sigma: 0.35},
+		CertDelivery:      Dist{Median: 60 * time.Millisecond, Sigma: 0.3},
+		FSWatchDetect:     Dist{Median: 15 * time.Millisecond, Sigma: 0.3},
+		DescriptorReads:   3,
+		InstanceWrites:    1,
+		AuthAndFirstQuery: Dist{Median: 40 * time.Millisecond, Sigma: 0.3},
+	}
+}
+
+// Flow describes one cold-start configuration under test.
+type Flow struct {
+	// PreWarmed selects the §4.3.1 optimized flow.
+	PreWarmed bool
+	// Localities is the tenant's system database configuration.
+	Localities sql.SystemTableLocalities
+	// ClientRegion is where the prober (and the pod it is routed to) runs.
+	ClientRegion region.Region
+}
+
+// Simulate runs one cold-start trial and returns the end-to-end latency the
+// client would measure.
+func Simulate(rng *rand.Rand, p Params, f Flow) time.Duration {
+	var total time.Duration
+
+	// 1. Control plane stamps a warm pod with the tenant.
+	total += p.PodScheduling.Sample(rng)
+	total += p.CertDelivery.Sample(rng)
+
+	// 2. Process availability.
+	if f.PreWarmed {
+		// Already running; the fs-watch notices the certificates, and the
+		// client's TCP connection has been waiting in the accept queue.
+		total += p.FSWatchDetect.Sample(rng)
+	} else {
+		// The process starts now. The client's earlier connection attempts
+		// were refused (no listener -> TCP reset); the proxy retries with
+		// exponential backoff, which in expectation doubles the wait for
+		// the process (§6.5.1).
+		start := p.ProcessStart.Sample(rng)
+		total += start
+		total += retryPenalty(rng, start)
+	}
+
+	// 3. SQL node initialization: blocking system database accesses. The
+	// table localities decide whether these are local or cross-region
+	// (§3.2.5).
+	descPlacement := f.Localities.Placement(sql.SystemDescriptorTable)
+	for i := 0; i < p.DescriptorReads; i++ {
+		rtt := descPlacement.ReadRTT(p.Topology, f.ClientRegion)
+		total += randutil.Jitter(rng, rtt, 0.1)
+	}
+	instPlacement := f.Localities.Placement(sql.SystemSQLInstancesTable)
+	for i := 0; i < p.InstanceWrites; i++ {
+		rtt := instPlacement.WriteRTT(p.Topology, f.ClientRegion)
+		total += randutil.Jitter(rng, rtt, 0.1)
+	}
+
+	// 4. Authentication and the first row read.
+	total += p.AuthAndFirstQuery.Sample(rng)
+	return total
+}
+
+// retryPenalty models the proxy's exponential backoff against a listener
+// that appears after processStart: attempts at 0, 100ms, 300ms, 700ms, ...
+// The measured penalty is the gap between the process becoming ready and the
+// next retry firing.
+func retryPenalty(rng *rand.Rand, processStart time.Duration) time.Duration {
+	backoff := 100 * time.Millisecond
+	var at time.Duration
+	for at < processStart {
+		at += randutil.Jitter(rng, backoff, 0.1)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	return at - processStart
+}
+
+// RunProber runs n trials and returns the latency distribution — the
+// production cold-start prober of §6.5.
+func RunProber(rng *rand.Rand, p Params, f Flow, n int) *metric.Histogram {
+	h := metric.NewHistogram()
+	for i := 0; i < n; i++ {
+		h.Record(Simulate(rng, p, f))
+	}
+	return h
+}

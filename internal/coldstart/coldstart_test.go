@@ -1,0 +1,128 @@
+package coldstart
+
+import (
+	"testing"
+	"time"
+
+	"crdbserverless/internal/randutil"
+	"crdbserverless/internal/region"
+	"crdbserverless/internal/sql"
+)
+
+func optimizedLocalities() sql.SystemTableLocalities {
+	return sql.SystemTableLocalities{RegionAware: true}
+}
+
+func pinnedLocalities() sql.SystemTableLocalities {
+	return sql.SystemTableLocalities{RegionAware: false, Home: "asia-southeast1"}
+}
+
+func TestDistSample(t *testing.T) {
+	rng := randutil.NewRand(1)
+	d := Dist{Median: 100 * time.Millisecond, Sigma: 0.3}
+	var below int
+	for i := 0; i < 2000; i++ {
+		if d.Sample(rng) < d.Median {
+			below++
+		}
+	}
+	if below < 900 || below > 1100 {
+		t.Fatalf("median split = %d/2000", below)
+	}
+	if (Dist{}).Sample(rng) != 0 {
+		t.Fatal("zero dist should sample 0")
+	}
+}
+
+func TestPreWarmingHalvesColdStart(t *testing.T) {
+	// The Fig 10a result: pre-warming the SQL process reduces p50 and p99
+	// by more than half.
+	top := region.DefaultTopology()
+	p := DefaultParams(top)
+	rng := randutil.NewRand(42)
+
+	unopt := RunProber(rng, p, Flow{
+		PreWarmed: false, Localities: optimizedLocalities(), ClientRegion: "us-central1",
+	}, 500)
+	opt := RunProber(rng, p, Flow{
+		PreWarmed: true, Localities: optimizedLocalities(), ClientRegion: "us-central1",
+	}, 500)
+
+	if opt.P50()*2 > unopt.P50() {
+		t.Fatalf("pre-warming p50: %v vs %v — less than 2x", opt.P50(), unopt.P50())
+	}
+	if opt.P99()*2 > unopt.P99() {
+		t.Fatalf("pre-warming p99: %v vs %v — less than 2x", opt.P99(), unopt.P99())
+	}
+	// And the optimized flow is sub-second at p99 (the paper reports a
+	// production p99 of 650ms).
+	if opt.P99() > time.Second {
+		t.Fatalf("optimized p99 = %v, want < 1s", opt.P99())
+	}
+}
+
+func TestRegionAwareSystemDBSubSecondEverywhere(t *testing.T) {
+	// The Fig 10b result: with GLOBAL/REGIONAL BY ROW system tables, every
+	// region cold-starts in under a second (p50 <= 0.73s); with leaseholders
+	// pinned to asia-southeast1, remote regions pay cross-region RTTs.
+	top := region.DefaultTopology()
+	p := DefaultParams(top)
+	rng := randutil.NewRand(7)
+
+	for _, r := range top.Regions() {
+		opt := RunProber(rng, p, Flow{
+			PreWarmed: true, Localities: optimizedLocalities(), ClientRegion: r,
+		}, 500)
+		if opt.P50() > 730*time.Millisecond {
+			t.Fatalf("region %s optimized p50 = %v, want <= 0.73s", r, opt.P50())
+		}
+	}
+
+	// Pinned: the farthest region suffers most.
+	pinnedUS := RunProber(rng, p, Flow{
+		PreWarmed: true, Localities: pinnedLocalities(), ClientRegion: "us-central1",
+	}, 500)
+	pinnedAsia := RunProber(rng, p, Flow{
+		PreWarmed: true, Localities: pinnedLocalities(), ClientRegion: "asia-southeast1",
+	}, 500)
+	optUS := RunProber(rng, p, Flow{
+		PreWarmed: true, Localities: optimizedLocalities(), ClientRegion: "us-central1",
+	}, 500)
+
+	// Cross-region pinning costs at least the extra RTTs (~600ms here).
+	if pinnedUS.P50() < optUS.P50()+400*time.Millisecond {
+		t.Fatalf("pinned us-central1 p50 = %v vs optimized %v — missing RTT cost",
+			pinnedUS.P50(), optUS.P50())
+	}
+	// In the home region, pinning costs nothing.
+	if pinnedAsia.P50() > optUS.P50()+200*time.Millisecond {
+		t.Fatalf("pinned asia p50 = %v, should be near local %v", pinnedAsia.P50(), optUS.P50())
+	}
+}
+
+func TestRetryPenaltyBounds(t *testing.T) {
+	rng := randutil.NewRand(3)
+	for i := 0; i < 1000; i++ {
+		start := time.Duration(rng.Intn(1500)) * time.Millisecond
+		p := retryPenalty(rng, start)
+		if p < 0 {
+			t.Fatalf("negative penalty %v", p)
+		}
+		// The next retry is at most one backoff step past readiness, and
+		// backoff is capped at 2s.
+		if p > 2200*time.Millisecond {
+			t.Fatalf("penalty %v too large for start %v", p, start)
+		}
+	}
+}
+
+func TestSimulateDeterministicWithSeed(t *testing.T) {
+	top := region.DefaultTopology()
+	p := DefaultParams(top)
+	f := Flow{PreWarmed: true, Localities: optimizedLocalities(), ClientRegion: "europe-west1"}
+	a := Simulate(randutil.NewRand(9), p, f)
+	b := Simulate(randutil.NewRand(9), p, f)
+	if a != b {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,382 @@
+// Package core implements cluster virtualization, the paper's primary
+// contribution (§3.2): each tenant ("virtual cluster") is a segment of the
+// shared KV keyspace plus its own SQL layer instances, with a security
+// boundary at the SQL/KV interface that confines every authenticated
+// identity to its own segment.
+//
+// The package provides:
+//   - Authorizer: the KV-side check that a request's identity matches the
+//     keyspace it addresses (§3.2.3).
+//   - Registry: tenant lifecycle — create, suspend, resume, drop (§3.2.4,
+//     managed through the system tenant) — including carving each tenant's
+//     keyspace onto dedicated range boundaries so no two tenants ever share
+//     a range (§3.2.1).
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/region"
+	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/txn"
+)
+
+// Authorizer enforces the SQL/KV security boundary: a request authenticated
+// as tenant T may only address keys inside T's segment. The system tenant is
+// exempt (it is the low-level control interface of §3.2.4 and is reachable
+// only through operator credentials).
+type Authorizer struct{}
+
+// Authorize implements kvserver.Authorizer.
+func (Authorizer) Authorize(id kvserver.Identity, ba *kvpb.BatchRequest) error {
+	if id.Tenant.IsSystem() {
+		return nil
+	}
+	if !id.Tenant.IsValid() {
+		return &kvpb.TenantAuthError{Authenticated: id.Tenant, Requested: ba.Tenant}
+	}
+	if ba.Tenant != id.Tenant {
+		return &kvpb.TenantAuthError{Authenticated: id.Tenant, Requested: ba.Tenant}
+	}
+	span := keys.MakeTenantSpan(id.Tenant)
+	for _, r := range ba.Requests {
+		rs := r.Span()
+		if !span.ContainsKey(rs.Key) {
+			return &kvpb.TenantAuthError{Authenticated: id.Tenant, Requested: ba.Tenant, Key: rs.Key}
+		}
+		if !rs.IsPoint() && span.EndKey.Less(rs.EndKey) {
+			return &kvpb.TenantAuthError{Authenticated: id.Tenant, Requested: ba.Tenant, Key: rs.EndKey}
+		}
+	}
+	return nil
+}
+
+// State is a tenant's lifecycle state.
+type State int
+
+// Tenant lifecycle states.
+const (
+	// StateActive: the tenant may have SQL nodes and serve queries.
+	StateActive State = iota
+	// StateSuspended: no SQL nodes are allocated; the tenant consumes only
+	// storage (§6.2). A connection attempt resumes it.
+	StateSuspended
+	// StateDropped: the tenant is deleted; its keyspace is reclaimable.
+	StateDropped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateSuspended:
+		return "suspended"
+	case StateDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Tenant is one virtual cluster's control-plane record.
+type Tenant struct {
+	ID    keys.TenantID
+	Name  string
+	State State
+	// Regions the tenant selected (§4.2.5). The system database presents
+	// these as the only regions in the cluster.
+	Regions []region.Region
+	// Password authenticates SQL connections for this tenant.
+	Password string
+	// QuotaVCPUs is the CPU quota enforced by the distributed token bucket
+	// (0 = unlimited).
+	QuotaVCPUs float64
+	// RegionAware selects the optimized multi-region system database
+	// localities (§3.2.5).
+	RegionAware bool
+}
+
+// TenantOptions configure CreateTenant.
+type TenantOptions struct {
+	Regions     []region.Region
+	Password    string
+	QuotaVCPUs  float64
+	RegionAware bool
+}
+
+// Registry manages tenants. Tenant records persist in the system tenant's
+// keyspace; mutations run through the system tenant, mirroring §3.2.4.
+type Registry struct {
+	cluster *kvserver.Cluster
+	buckets *tenantcost.BucketServer
+	sysTxn  *txn.Coordinator
+
+	mu struct {
+		sync.Mutex
+		byID   map[keys.TenantID]*Tenant
+		byName map[string]*Tenant
+		nextID keys.TenantID
+	}
+}
+
+// tenantRecordTableID is the system-tenant table holding tenant records.
+const tenantRecordTableID keys.TableID = 50
+
+func tenantRecordKey(name string) keys.Key {
+	k := keys.MakeTableIndexPrefix(keys.SystemTenantID, tenantRecordTableID, keys.PrimaryIndexID)
+	return keys.EncodeString(k, name)
+}
+
+// NewRegistry returns a Registry over the cluster. It installs the
+// authorization boundary on the cluster and loads any persisted tenants.
+func NewRegistry(cluster *kvserver.Cluster, buckets *tenantcost.BucketServer) (*Registry, error) {
+	r := &Registry{cluster: cluster, buckets: buckets}
+	r.mu.byID = make(map[keys.TenantID]*Tenant)
+	r.mu.byName = make(map[string]*Tenant)
+	r.mu.nextID = keys.SystemTenantID + 1
+	cluster.SetAuthorizer(Authorizer{})
+
+	sysSender := kvserver.NewDistSender(cluster, kvserver.Identity{Tenant: keys.SystemTenantID})
+	r.sysTxn = txn.NewCoordinator(sysSender, cluster.Clock(), keys.SystemTenantID)
+
+	// Carve the system tenant's own boundary.
+	if err := cluster.SplitAt(keys.MakeTenantPrefix(keys.SystemTenantID)); err != nil {
+		return nil, err
+	}
+	if err := r.load(context.Background()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// load restores persisted tenant records.
+func (r *Registry) load(ctx context.Context) error {
+	prefix := keys.MakeTableIndexPrefix(keys.SystemTenantID, tenantRecordTableID, keys.PrimaryIndexID)
+	span := keys.Span{Key: prefix, EndKey: prefix.PrefixEnd()}
+	return r.sysTxn.RunTxn(ctx, func(t *txn.Txn) error {
+		rows, err := t.Scan(ctx, span, 0)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for _, kv := range rows {
+			var ten Tenant
+			if err := gob.NewDecoder(bytes.NewReader(kv.Value)).Decode(&ten); err != nil {
+				return err
+			}
+			t := ten
+			r.mu.byID[t.ID] = &t
+			r.mu.byName[t.Name] = &t
+			if t.ID >= r.mu.nextID {
+				r.mu.nextID = t.ID + 1
+			}
+		}
+		return nil
+	})
+}
+
+// Errors returned by Registry methods.
+var (
+	ErrTenantExists    = errors.New("core: tenant already exists")
+	ErrTenantNotFound  = errors.New("core: tenant not found")
+	ErrTenantDropped   = errors.New("core: tenant is dropped")
+	ErrTenantSuspended = errors.New("core: tenant is suspended")
+)
+
+// CreateTenant provisions a new virtual cluster: allocates its ID, splits
+// its keyspace onto dedicated ranges, persists the record, and configures
+// its quota.
+func (r *Registry) CreateTenant(ctx context.Context, name string, opts TenantOptions) (*Tenant, error) {
+	if name == "" {
+		return nil, errors.New("core: tenant name required")
+	}
+	r.mu.Lock()
+	if _, dup := r.mu.byName[name]; dup {
+		r.mu.Unlock()
+		return nil, ErrTenantExists
+	}
+	id := r.mu.nextID
+	r.mu.nextID++
+	t := &Tenant{
+		ID:          id,
+		Name:        name,
+		State:       StateActive,
+		Regions:     append([]region.Region(nil), opts.Regions...),
+		Password:    opts.Password,
+		QuotaVCPUs:  opts.QuotaVCPUs,
+		RegionAware: opts.RegionAware,
+	}
+	r.mu.byID[id] = t
+	r.mu.byName[name] = t
+	r.mu.Unlock()
+
+	// Carve the tenant's keyspace onto its own ranges: no two tenants may
+	// share a range (§3.2.1).
+	span := keys.MakeTenantSpan(id)
+	if err := r.cluster.SplitAt(span.Key); err != nil {
+		return nil, err
+	}
+	if err := r.cluster.SplitAt(span.EndKey); err != nil {
+		return nil, err
+	}
+	if err := r.persist(ctx, t); err != nil {
+		return nil, err
+	}
+	if opts.QuotaVCPUs > 0 {
+		r.buckets.SetQuota(id, opts.QuotaVCPUs)
+	}
+	return t.clone(), nil
+}
+
+func (r *Registry) persist(ctx context.Context, t *Tenant) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		return err
+	}
+	return r.sysTxn.RunTxn(ctx, func(tx *txn.Txn) error {
+		return tx.Put(ctx, tenantRecordKey(t.Name), buf.Bytes())
+	})
+}
+
+// GetByName returns a tenant record.
+func (r *Registry) GetByName(name string) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.mu.byName[name]
+	if !ok {
+		return nil, ErrTenantNotFound
+	}
+	return t.clone(), nil
+}
+
+// GetByID returns a tenant record.
+func (r *Registry) GetByID(id keys.TenantID) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.mu.byID[id]
+	if !ok {
+		return nil, ErrTenantNotFound
+	}
+	return t.clone(), nil
+}
+
+// List returns all tenants sorted by name.
+func (r *Registry) List() []*Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Tenant, 0, len(r.mu.byID))
+	for _, t := range r.mu.byID {
+		out = append(out, t.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Suspend scales a tenant's compute to zero (§4.2.3): its record moves to
+// StateSuspended; only storage remains.
+func (r *Registry) Suspend(ctx context.Context, name string) error {
+	return r.setState(ctx, name, StateSuspended, StateActive)
+}
+
+// Resume reactivates a suspended tenant (the control-plane half of a cold
+// start).
+func (r *Registry) Resume(ctx context.Context, name string) error {
+	return r.setState(ctx, name, StateActive, StateSuspended)
+}
+
+func (r *Registry) setState(ctx context.Context, name string, to State, from State) error {
+	r.mu.Lock()
+	t, ok := r.mu.byName[name]
+	if !ok {
+		r.mu.Unlock()
+		return ErrTenantNotFound
+	}
+	if t.State == StateDropped {
+		r.mu.Unlock()
+		return ErrTenantDropped
+	}
+	if t.State == to {
+		r.mu.Unlock()
+		return nil // idempotent
+	}
+	if t.State != from {
+		r.mu.Unlock()
+		return fmt.Errorf("core: tenant %s is %s, cannot move to %s", name, t.State, to)
+	}
+	t.State = to
+	snapshot := t.clone()
+	r.mu.Unlock()
+	return r.persist(ctx, snapshot)
+}
+
+// Drop deletes a tenant: the record is tombstoned and the tenant's keyspace
+// is deleted through the system tenant.
+func (r *Registry) Drop(ctx context.Context, name string) error {
+	r.mu.Lock()
+	t, ok := r.mu.byName[name]
+	if !ok {
+		r.mu.Unlock()
+		return ErrTenantNotFound
+	}
+	t.State = StateDropped
+	id := t.ID
+	snapshot := t.clone()
+	r.mu.Unlock()
+	if err := r.persist(ctx, snapshot); err != nil {
+		return err
+	}
+	// Reclaim the keyspace.
+	span := keys.MakeTenantSpan(id)
+	return r.sysTxn.RunTxn(ctx, func(tx *txn.Txn) error {
+		_, err := tx.Send(ctx, kvpb.Request{
+			Method: kvpb.DeleteRange, Key: span.Key, EndKey: span.EndKey,
+		})
+		return err
+	})
+}
+
+// Authenticate validates a connection attempt against the tenant record and
+// returns the tenant. Suspended tenants authenticate successfully — the
+// caller then triggers a resume (cold start).
+func (r *Registry) Authenticate(name, password string) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.mu.byName[name]
+	if !ok {
+		return nil, ErrTenantNotFound
+	}
+	if t.State == StateDropped {
+		return nil, ErrTenantDropped
+	}
+	if t.Password != password {
+		return nil, errors.New("core: invalid credentials")
+	}
+	return t.clone(), nil
+}
+
+// SystemCoordinator exposes the system tenant's transaction coordinator —
+// the control interface of §3.2.4.
+func (r *Registry) SystemCoordinator() *txn.Coordinator { return r.sysTxn }
+
+// Cluster returns the underlying KV cluster.
+func (r *Registry) Cluster() *kvserver.Cluster { return r.cluster }
+
+// Buckets returns the tenant token-bucket server.
+func (r *Registry) Buckets() *tenantcost.BucketServer { return r.buckets }
+
+func (t *Tenant) clone() *Tenant {
+	out := *t
+	out.Regions = append([]region.Region(nil), t.Regions...)
+	return &out
+}

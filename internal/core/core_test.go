@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/txn"
+)
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	cheap := kvserver.CostConfig{ReadBatchOverhead: time.Nanosecond, WriteBatchOverhead: time.Nanosecond}
+	var nodes []*kvserver.Node
+	for i := 1; i <= 3; i++ {
+		nodes = append(nodes, kvserver.NewNode(kvserver.NodeConfig{
+			ID: kvserver.NodeID(i), VCPUs: 2, Cost: cheap,
+		}))
+	}
+	c, err := kvserver.NewCluster(kvserver.ClusterConfig{}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	reg, err := NewRegistry(c, tenantcost.NewBucketServer(timeutil.NewRealClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestAuthorizerSystemTenantUnrestricted(t *testing.T) {
+	a := Authorizer{}
+	ba := &kvpb.BatchRequest{Tenant: 5, Requests: []kvpb.Request{
+		{Method: kvpb.Get, Key: keys.MakeTenantPrefix(5)},
+	}}
+	if err := a.Authorize(kvserver.Identity{Tenant: keys.SystemTenantID}, ba); err != nil {
+		t.Fatalf("system tenant blocked: %v", err)
+	}
+}
+
+func TestAuthorizerConfinesTenant(t *testing.T) {
+	a := Authorizer{}
+	own := &kvpb.BatchRequest{Tenant: 5, Requests: []kvpb.Request{
+		{Method: kvpb.Put, Key: append(keys.MakeTenantPrefix(5), 'x')},
+	}}
+	if err := a.Authorize(kvserver.Identity{Tenant: 5}, own); err != nil {
+		t.Fatalf("own keyspace blocked: %v", err)
+	}
+	// Foreign key.
+	foreign := &kvpb.BatchRequest{Tenant: 5, Requests: []kvpb.Request{
+		{Method: kvpb.Get, Key: append(keys.MakeTenantPrefix(6), 'x')},
+	}}
+	var tae *kvpb.TenantAuthError
+	if err := a.Authorize(kvserver.Identity{Tenant: 5}, foreign); !errors.As(err, &tae) {
+		t.Fatalf("foreign key allowed: %v", err)
+	}
+	// Mismatched batch tenant header.
+	mismatch := &kvpb.BatchRequest{Tenant: 6, Requests: []kvpb.Request{
+		{Method: kvpb.Get, Key: append(keys.MakeTenantPrefix(5), 'x')},
+	}}
+	if err := a.Authorize(kvserver.Identity{Tenant: 5}, mismatch); !errors.As(err, &tae) {
+		t.Fatalf("mismatched header allowed: %v", err)
+	}
+	// Span leaking past the tenant boundary.
+	leak := &kvpb.BatchRequest{Tenant: 5, Requests: []kvpb.Request{
+		{Method: kvpb.Scan, Key: keys.MakeTenantPrefix(5), EndKey: keys.MakeTenantPrefix(7)},
+	}}
+	if err := a.Authorize(kvserver.Identity{Tenant: 5}, leak); !errors.As(err, &tae) {
+		t.Fatalf("leaking span allowed: %v", err)
+	}
+	// Invalid identity.
+	if err := a.Authorize(kvserver.Identity{Tenant: 0}, own); !errors.As(err, &tae) {
+		t.Fatalf("invalid identity allowed: %v", err)
+	}
+}
+
+func TestCreateTenantCarvesRanges(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	tn, err := reg.CreateTenant(ctx, "acme", TenantOptions{Password: "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tn.ID.IsValid() || tn.ID.IsSystem() {
+		t.Fatalf("tenant id = %v", tn.ID)
+	}
+	// The tenant's span boundaries must be range boundaries.
+	span := keys.MakeTenantSpan(tn.ID)
+	descs := reg.Cluster().Descriptors()
+	var startBoundary, endBoundary bool
+	for _, d := range descs {
+		if d.Span.Key.Equal(span.Key) {
+			startBoundary = true
+		}
+		if d.Span.Key.Equal(span.EndKey) {
+			endBoundary = true
+		}
+		// No range may straddle the tenant boundary.
+		if d.Span.ContainsKey(span.Key) && !d.Span.Key.Equal(span.Key) {
+			t.Fatalf("range %s straddles tenant start", d)
+		}
+	}
+	if !startBoundary || !endBoundary {
+		t.Fatalf("tenant boundaries not split: start=%v end=%v", startBoundary, endBoundary)
+	}
+}
+
+func TestCreateTenantDuplicate(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	if _, err := reg.CreateTenant(ctx, "acme", TenantOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.CreateTenant(ctx, "acme", TenantOptions{}); err != ErrTenantExists {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	if _, err := reg.CreateTenant(ctx, "", TenantOptions{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	reg.CreateTenant(ctx, "acme", TenantOptions{})
+
+	if err := reg.Suspend(ctx, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	tn, _ := reg.GetByName("acme")
+	if tn.State != StateSuspended {
+		t.Fatalf("state = %s", tn.State)
+	}
+	// Suspend is idempotent.
+	if err := reg.Suspend(ctx, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Resume(ctx, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	tn, _ = reg.GetByName("acme")
+	if tn.State != StateActive {
+		t.Fatalf("state after resume = %s", tn.State)
+	}
+	if err := reg.Suspend(ctx, "missing"); err != ErrTenantNotFound {
+		t.Fatalf("suspend missing = %v", err)
+	}
+}
+
+func TestTenantDropReclaimsKeyspace(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	tn, _ := reg.CreateTenant(ctx, "acme", TenantOptions{})
+
+	// Write tenant data through the tenant's own identity.
+	ds := kvserver.NewDistSender(reg.Cluster(), kvserver.Identity{Tenant: tn.ID})
+	coord := txn.NewCoordinator(ds, reg.Cluster().Clock(), tn.ID)
+	k := append(keys.MakeTenantPrefix(tn.ID), []byte("data")...)
+	if err := coord.RunTxn(ctx, func(tx *txn.Txn) error {
+		return tx.Put(ctx, k, []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Drop(ctx, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	// Data is gone (read through the system tenant, which sees everything).
+	if err := reg.SystemCoordinator().RunTxn(ctx, func(tx *txn.Txn) error {
+		rows, err := tx.Scan(ctx, keys.MakeTenantSpan(tn.ID), 0)
+		if err != nil {
+			return err
+		}
+		if len(rows) != 0 {
+			t.Fatalf("dropped tenant still has %d rows", len(rows))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Lifecycle transitions on a dropped tenant fail.
+	if err := reg.Resume(ctx, "acme"); err != ErrTenantDropped {
+		t.Fatalf("resume dropped = %v", err)
+	}
+	if _, err := reg.Authenticate("acme", ""); err != ErrTenantDropped {
+		t.Fatalf("auth dropped = %v", err)
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	reg.CreateTenant(ctx, "acme", TenantOptions{Password: "secret"})
+	if _, err := reg.Authenticate("acme", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Authenticate("acme", "wrong"); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	if _, err := reg.Authenticate("nope", "x"); err != ErrTenantNotFound {
+		t.Fatalf("unknown tenant auth = %v", err)
+	}
+	// Suspended tenants still authenticate (triggers cold start).
+	reg.Suspend(ctx, "acme")
+	if _, err := reg.Authenticate("acme", "secret"); err != nil {
+		t.Fatalf("suspended auth = %v", err)
+	}
+}
+
+func TestRegistryPersistenceReload(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	reg.CreateTenant(ctx, "acme", TenantOptions{Password: "pw", QuotaVCPUs: 4})
+	reg.CreateTenant(ctx, "globex", TenantOptions{})
+	reg.Suspend(ctx, "globex")
+
+	// A second registry over the same cluster reloads the records.
+	reg2, err := NewRegistry(reg.Cluster(), tenantcost.NewBucketServer(timeutil.NewRealClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := reg2.GetByName("acme")
+	if err != nil || tn.Password != "pw" || tn.QuotaVCPUs != 4 {
+		t.Fatalf("reloaded acme = %+v, %v", tn, err)
+	}
+	g, err := reg2.GetByName("globex")
+	if err != nil || g.State != StateSuspended {
+		t.Fatalf("reloaded globex = %+v, %v", g, err)
+	}
+	// ID allocation continues after the loaded tenants.
+	n, err := reg2.CreateTenant(ctx, "initech", TenantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID <= g.ID {
+		t.Fatalf("id %d not beyond loaded ids", n.ID)
+	}
+	if got := len(reg2.List()); got != 3 {
+		t.Fatalf("list = %d tenants", got)
+	}
+}
+
+func TestTenantQuotaConfigured(t *testing.T) {
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	tn, _ := reg.CreateTenant(ctx, "acme", TenantOptions{QuotaVCPUs: 2})
+	if q := reg.Buckets().Quota(tn.ID); q != 2 {
+		t.Fatalf("quota = %f", q)
+	}
+}
+
+func TestCrossTenantIsolationEndToEnd(t *testing.T) {
+	// The whole point of cluster virtualization: tenant A cannot read
+	// tenant B's rows through the KV API, under any request shape.
+	reg := newTestRegistry(t)
+	ctx := context.Background()
+	a, _ := reg.CreateTenant(ctx, "a", TenantOptions{})
+	b, _ := reg.CreateTenant(ctx, "b", TenantOptions{})
+
+	// B writes data.
+	bsender := kvserver.NewDistSender(reg.Cluster(), kvserver.Identity{Tenant: b.ID})
+	bcoord := txn.NewCoordinator(bsender, reg.Cluster().Clock(), b.ID)
+	secret := append(keys.MakeTenantPrefix(b.ID), []byte("secret")...)
+	if err := bcoord.RunTxn(ctx, func(tx *txn.Txn) error {
+		return tx.Put(ctx, secret, []byte("b-data"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A attempts reads with its own identity.
+	asender := kvserver.NewDistSender(reg.Cluster(), kvserver.Identity{Tenant: a.ID})
+	var tae *kvpb.TenantAuthError
+	// Point read of B's key.
+	_, err := asender.Send(ctx, &kvpb.BatchRequest{Tenant: b.ID, Requests: []kvpb.Request{
+		{Method: kvpb.Get, Key: secret},
+	}})
+	if !errors.As(err, &tae) {
+		t.Fatalf("cross-tenant get = %v", err)
+	}
+	// Scan spanning B's keyspace.
+	_, err = asender.Send(ctx, &kvpb.BatchRequest{Tenant: a.ID, Requests: []kvpb.Request{
+		{Method: kvpb.Scan, Key: keys.MakeTenantPrefix(a.ID), EndKey: keys.MakeTenantPrefix(b.ID + 1)},
+	}})
+	if !errors.As(err, &tae) {
+		t.Fatalf("cross-tenant scan = %v", err)
+	}
+	// Write into B's keyspace.
+	_, err = asender.Send(ctx, &kvpb.BatchRequest{Tenant: a.ID, Requests: []kvpb.Request{
+		{Method: kvpb.Put, Key: secret, Value: []byte("overwrite")},
+	}})
+	if !errors.As(err, &tae) {
+		t.Fatalf("cross-tenant put = %v", err)
+	}
+}

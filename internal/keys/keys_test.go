@@ -1,0 +1,297 @@
+package keys
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTenantPrefixRoundTrip(t *testing.T) {
+	for _, id := range []TenantID{1, 2, 10, 12345, 1 << 40} {
+		p := MakeTenantPrefix(id)
+		got, rest, ok := DecodeTenantPrefix(p)
+		if !ok || got != id || len(rest) != 0 {
+			t.Fatalf("round trip %d: got %d rest %q ok %v", id, got, rest, ok)
+		}
+	}
+}
+
+func TestTenantPrefixOrdering(t *testing.T) {
+	// Tenant segments must be contiguous and ordered by ID so that no two
+	// tenants can share a range (§3.2.1).
+	var prev Key
+	for id := TenantID(1); id < 100; id++ {
+		p := MakeTenantPrefix(id)
+		if prev != nil && !prev.Less(p) {
+			t.Fatalf("tenant %d prefix does not sort after tenant %d", id, id-1)
+		}
+		// The previous tenant's span must end at or before this prefix.
+		if prev != nil {
+			end := prev.PrefixEnd()
+			if p.Less(end) {
+				t.Fatalf("tenant %d span overlaps tenant %d prefix", id-1, id)
+			}
+		}
+		prev = p
+	}
+}
+
+func TestTenantSpanContainsOwnKeysOnly(t *testing.T) {
+	s1 := MakeTenantSpan(5)
+	s2 := MakeTenantSpan(6)
+	k := append(MakeTenantPrefix(5), []byte("table1row")...)
+	if !s1.ContainsKey(k) {
+		t.Fatal("tenant span should contain its own key")
+	}
+	if s2.ContainsKey(k) {
+		t.Fatal("tenant 6 span must not contain tenant 5 key")
+	}
+	if s1.Overlaps(s2) {
+		t.Fatal("tenant spans must not overlap")
+	}
+}
+
+func TestDecodeTenantPrefixRejectsOther(t *testing.T) {
+	if _, _, ok := DecodeTenantPrefix(MetaPrefix); ok {
+		t.Fatal("meta key should not decode as tenant")
+	}
+	if _, _, ok := DecodeTenantPrefix(Key{tenantPrefixByte, 1, 2}); ok {
+		t.Fatal("truncated tenant key should not decode")
+	}
+	if _, _, ok := DecodeTenantPrefix(nil); ok {
+		t.Fatal("empty key should not decode")
+	}
+}
+
+func TestKeyNext(t *testing.T) {
+	k := Key("abc")
+	n := k.Next()
+	if !k.Less(n) {
+		t.Fatal("Next not greater")
+	}
+	// Nothing sorts strictly between k and k.Next().
+	if between := Key("abc\x00"); !between.Equal(n) {
+		t.Fatalf("Next = %q", n)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct {
+		in, want Key
+	}{
+		{Key("a"), Key("b")},
+		{Key("ab"), Key("ac")},
+		{Key{0x01, 0xff}, Key{0x02}},
+		{Key{0xff, 0xff}, MaxKey},
+		{Key{}, MaxKey},
+	}
+	for _, c := range cases {
+		if got := c.in.PrefixEnd(); !got.Equal(c.want) {
+			t.Fatalf("PrefixEnd(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixEndProperty(t *testing.T) {
+	// Property: any key with prefix p sorts before p.PrefixEnd().
+	f := func(prefix, suffix []byte) bool {
+		if len(prefix) == 0 {
+			return true
+		}
+		p := Key(prefix)
+		k := append(p.Clone(), suffix...)
+		end := p.PrefixEnd()
+		return k.Less(end) || end.Equal(MaxKey)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanBasics(t *testing.T) {
+	s := Span{Key: Key("b"), EndKey: Key("d")}
+	if !s.Valid() {
+		t.Fatal("span should be valid")
+	}
+	if !s.ContainsKey(Key("b")) || !s.ContainsKey(Key("c")) {
+		t.Fatal("span should contain b and c")
+	}
+	if s.ContainsKey(Key("d")) || s.ContainsKey(Key("a")) {
+		t.Fatal("span end is exclusive; start is inclusive")
+	}
+	point := Span{Key: Key("x")}
+	if !point.IsPoint() || !point.ContainsKey(Key("x")) || point.ContainsKey(Key("y")) {
+		t.Fatal("point span behavior")
+	}
+	if (Span{Key: Key("d"), EndKey: Key("b")}).Valid() {
+		t.Fatal("inverted span should be invalid")
+	}
+}
+
+func TestSpanContainsAndOverlaps(t *testing.T) {
+	outer := Span{Key: Key("b"), EndKey: Key("z")}
+	inner := Span{Key: Key("c"), EndKey: Key("f")}
+	if !outer.Contains(inner) || inner.Contains(outer) {
+		t.Fatal("Contains broken")
+	}
+	if !outer.Overlaps(inner) || !inner.Overlaps(outer) {
+		t.Fatal("Overlaps broken")
+	}
+	disjoint := Span{Key: Key("z"), EndKey: Key("zz")}
+	if outer.Overlaps(disjoint) {
+		t.Fatal("adjacent spans should not overlap (end exclusive)")
+	}
+	p := Span{Key: Key("c")}
+	if !outer.Contains(p) || !outer.Overlaps(p) {
+		t.Fatal("point containment broken")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	if MinKey.String() != "/Min" {
+		t.Fatalf("MinKey = %s", MinKey)
+	}
+	if MaxKey.String() != "/Max" {
+		t.Fatalf("MaxKey = %s", MaxKey)
+	}
+	k := MakeTenantPrefix(7)
+	if got := k.String(); got != `/Tenant/7/""` {
+		t.Fatalf("tenant key string = %s", got)
+	}
+}
+
+func TestUint64EncodingOrder(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka := EncodeUint64(nil, a)
+		kb := EncodeUint64(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64EncodingOrderAndRoundTrip(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeInt64(nil, a)
+		kb := EncodeInt64(nil, b)
+		if (a < b) != (bytes.Compare(ka, kb) < 0) {
+			return false
+		}
+		rest, got, err := DecodeInt64(ka)
+		return err == nil && got == a && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesEncodingRoundTrip(t *testing.T) {
+	f := func(data, tail []byte) bool {
+		enc := EncodeBytes(nil, data)
+		enc = append(enc, tail...)
+		rest, got, err := DecodeBytes(enc)
+		return err == nil && bytes.Equal(got, data) && bytes.Equal(rest, tail)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesEncodingOrder(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ka := EncodeBytes(nil, a)
+		kb := EncodeBytes(nil, b)
+		return (bytes.Compare(a, b) < 0) == (bytes.Compare(ka, kb) < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesEncodingEmbeddedZeros(t *testing.T) {
+	in := []byte{0x00, 0x01, 0x00, 0x00, 0xff}
+	enc := EncodeBytes(nil, in)
+	_, out, err := DecodeBytes(enc)
+	if err != nil || !bytes.Equal(in, out) {
+		t.Fatalf("round trip with zeros: %v %q", err, out)
+	}
+}
+
+func TestDecodeBytesErrors(t *testing.T) {
+	if _, _, err := DecodeBytes(Key{0x99}); err == nil {
+		t.Fatal("bad marker should error")
+	}
+	if _, _, err := DecodeBytes(Key{bytesMarker, 'a'}); err == nil {
+		t.Fatal("unterminated should error")
+	}
+	if _, _, err := DecodeBytes(Key{bytesMarker, 0x00}); err == nil {
+		t.Fatal("truncated escape should error")
+	}
+	if _, _, err := DecodeBytes(Key{bytesMarker, 0x00, 0x55}); err == nil {
+		t.Fatal("invalid escape should error")
+	}
+	if _, _, err := DecodeUint64(Key{1, 2}); err == nil {
+		t.Fatal("short uint64 should error")
+	}
+}
+
+func TestStringEncoding(t *testing.T) {
+	enc := EncodeString(nil, "hello")
+	rest, s, err := DecodeString(enc)
+	if err != nil || s != "hello" || len(rest) != 0 {
+		t.Fatalf("string round trip: %v %q", err, s)
+	}
+	if _, _, err := DecodeString(Key{0x99}); err == nil {
+		t.Fatal("bad string should error")
+	}
+}
+
+func TestTableIndexPrefix(t *testing.T) {
+	k := MakeTableIndexPrefix(3, 50, 1)
+	tenant, table, index, rest, err := DecodeTableIndexPrefix(append(k, 'x'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != 3 || table != 50 || index != 1 || string(rest) != "x" {
+		t.Fatalf("decoded %d %d %d %q", tenant, table, index, rest)
+	}
+	if _, _, _, _, err := DecodeTableIndexPrefix(MetaPrefix); err == nil {
+		t.Fatal("meta key should not decode as table key")
+	}
+	if _, _, _, _, err := DecodeTableIndexPrefix(MakeTenantPrefix(3)); err == nil {
+		t.Fatal("bare tenant prefix should not decode as table key")
+	}
+}
+
+func TestTableIndexSpanOrdering(t *testing.T) {
+	// Index spans within a table are disjoint and ordered.
+	spans := []Span{
+		MakeTableIndexSpan(1, 10, 1),
+		MakeTableIndexSpan(1, 10, 2),
+		MakeTableIndexSpan(1, 11, 1),
+		MakeTableIndexSpan(2, 10, 1),
+	}
+	sorted := sort.SliceIsSorted(spans, func(i, j int) bool {
+		return spans[i].Key.Less(spans[j].Key)
+	})
+	if !sorted {
+		t.Fatal("index spans not ordered by (tenant, table, index)")
+	}
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].Overlaps(spans[j]) {
+				t.Fatalf("spans %d and %d overlap", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,797 @@
+package kvserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crdbserverless/internal/hlc"
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/mvcc"
+	"crdbserverless/internal/raftlite"
+	"crdbserverless/internal/rowfilter"
+	"crdbserverless/internal/timeutil"
+)
+
+// Identity is the authenticated identity a KV client (SQL node) presents —
+// the role of the per-tenant mTLS certificate (§3.2.3).
+type Identity struct {
+	Tenant keys.TenantID
+}
+
+// Authorizer checks that a request from an authenticated identity may touch
+// the keyspace it addresses. The cluster-virtualization layer (internal/core)
+// supplies the implementation.
+type Authorizer interface {
+	Authorize(id Identity, ba *kvpb.BatchRequest) error
+}
+
+// ClusterConfig configures a Cluster.
+type ClusterConfig struct {
+	Clock timeutil.Clock
+	// ReplicationFactor is the number of replicas per range (capped by the
+	// node count). Defaults to 3.
+	ReplicationFactor int
+	// SplitSizeThreshold triggers a size-based split once a range has
+	// absorbed this many logical write bytes. Defaults to 64 MiB.
+	SplitSizeThreshold int64
+	// LeaseDuration for range leases. Defaults to 9s.
+	LeaseDuration time.Duration
+}
+
+// rangeState is one range: descriptor, replication group, and stats.
+type rangeState struct {
+	// latch serializes batch evaluation on the range (reads and writes):
+	// read evaluation records into the timestamp cache and write evaluation
+	// consults it, and the two must not interleave.
+	latch sync.Mutex
+	desc  *RangeDescriptor
+	group *raftlite.Group
+	// tsc is the range's timestamp cache (lost-update protection).
+	tsc *tsCache
+
+	statsMu      sync.Mutex
+	writtenBytes int64
+}
+
+// engineSM adapts a node's engine to the raftlite.StateMachine interface.
+type engineSM struct{ n *Node }
+
+// Apply implements raftlite.StateMachine.
+func (sm engineSM) Apply(_ uint64, cmd []byte) error {
+	c, err := decodeCommand(cmd)
+	if err != nil {
+		return err
+	}
+	return applyMutations(sm.n.engine, c)
+}
+
+// Cluster is a set of KV nodes hosting the partitioned, replicated keyspace.
+type Cluster struct {
+	cfg   ClusterConfig
+	clock timeutil.Clock
+	hlc   *hlc.Clock
+
+	// nodesMu guards the node map separately from mu: liveness callbacks
+	// fire from lease checks that may run while mu is held.
+	nodesMu struct {
+		sync.RWMutex
+		nodes     map[NodeID]*Node
+		nodeOrder []NodeID
+	}
+	mu struct {
+		sync.RWMutex
+		ranges      map[RangeID]*rangeState
+		nextRangeID RangeID
+		auth        Authorizer
+		rowDecoder  RowDecoder
+	}
+	dir metaDirectory
+}
+
+// NewCluster creates a cluster from the given nodes with a single range
+// covering the entire keyspace.
+func NewCluster(cfg ClusterConfig, nodes []*Node) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("kvserver: cluster needs at least one node")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = timeutil.NewRealClock()
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.SplitSizeThreshold <= 0 {
+		cfg.SplitSizeThreshold = 64 << 20
+	}
+	if cfg.LeaseDuration <= 0 {
+		cfg.LeaseDuration = 9 * time.Second
+	}
+	c := &Cluster{cfg: cfg, clock: cfg.Clock, hlc: hlc.NewClock(cfg.Clock)}
+	c.nodesMu.nodes = make(map[NodeID]*Node)
+	c.mu.ranges = make(map[RangeID]*rangeState)
+	c.mu.nextRangeID = 1
+	for _, n := range nodes {
+		if _, dup := c.nodesMu.nodes[n.id]; dup {
+			return nil, fmt.Errorf("kvserver: duplicate node id %d", n.id)
+		}
+		c.nodesMu.nodes[n.id] = n
+		c.nodesMu.nodeOrder = append(c.nodesMu.nodeOrder, n.id)
+	}
+	// Initial range spans the whole keyspace.
+	span := keys.Span{Key: keys.MinKey.Next(), EndKey: keys.MaxKey}
+	if _, err := c.createRangeLocked(span, c.pickReplicasLocked()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Clock returns the cluster's HLC.
+func (c *Cluster) Clock() *hlc.Clock { return c.hlc }
+
+// WallClock returns the underlying physical clock.
+func (c *Cluster) WallClock() timeutil.Clock { return c.clock }
+
+// SetAuthorizer installs the SQL/KV boundary authorization check.
+func (c *Cluster) SetAuthorizer(a Authorizer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.auth = a
+}
+
+// RowDecoder decodes a stored row value into the column accessor the
+// row-filter evaluator consumes. The SQL layer registers its codec here;
+// without one, pushed-down filters are ignored and full rows are returned
+// (the pre-push-down behavior).
+type RowDecoder func(value []byte) (rowfilter.RowAccessor, error)
+
+// SetRowDecoder registers the row codec used for filter push-down (§8).
+func (c *Cluster) SetRowDecoder(dec RowDecoder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.rowDecoder = dec
+}
+
+func (c *Cluster) rowDecoder() RowDecoder {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.mu.rowDecoder
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id NodeID) (*Node, bool) {
+	c.nodesMu.RLock()
+	defer c.nodesMu.RUnlock()
+	n, ok := c.nodesMu.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes in insertion order.
+func (c *Cluster) Nodes() []*Node {
+	c.nodesMu.RLock()
+	defer c.nodesMu.RUnlock()
+	out := make([]*Node, 0, len(c.nodesMu.nodeOrder))
+	for _, id := range c.nodesMu.nodeOrder {
+		out = append(out, c.nodesMu.nodes[id])
+	}
+	return out
+}
+
+// liveness reports node health for lease decisions.
+func (c *Cluster) liveness(id raftlite.NodeID) bool {
+	n, ok := c.Node(id)
+	return ok && n.Live()
+}
+
+// pickReplicasLocked chooses replica nodes for a new range, preferring an
+// even spread (round-robin from a rotating offset).
+func (c *Cluster) pickReplicasLocked() []NodeID {
+	c.nodesMu.RLock()
+	defer c.nodesMu.RUnlock()
+	order := c.nodesMu.nodeOrder
+	rf := c.cfg.ReplicationFactor
+	if rf > len(order) {
+		rf = len(order)
+	}
+	start := int(c.mu.nextRangeID) % len(order)
+	out := make([]NodeID, 0, rf)
+	for i := 0; i < rf; i++ {
+		out = append(out, order[(start+i)%len(order)])
+	}
+	return out
+}
+
+// createRangeLocked registers a new range over span with the given replicas
+// and inserts it into the directory.
+func (c *Cluster) createRangeLocked(span keys.Span, replicas []NodeID) (*rangeState, error) {
+	rs, err := c.newRangeStateLocked(span, replicas)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.dir.insert(rs.desc); err != nil {
+		delete(c.mu.ranges, rs.desc.RangeID)
+		return nil, err
+	}
+	return rs, nil
+}
+
+// newRangeStateLocked allocates a range (ID, group, state) without touching
+// the directory; split commits the directory change atomically via replace.
+func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*rangeState, error) {
+	id := c.mu.nextRangeID
+	c.mu.nextRangeID++
+	sms := make([]raftlite.StateMachine, len(replicas))
+	for i, nid := range replicas {
+		n, ok := c.Node(nid)
+		if !ok {
+			return nil, fmt.Errorf("kvserver: unknown node %d", nid)
+		}
+		sms[i] = engineSM{n: n}
+	}
+	group, err := raftlite.NewGroup(raftlite.Config{
+		RangeID:       int64(id),
+		Clock:         c.clock,
+		Liveness:      c.liveness,
+		LeaseDuration: c.cfg.LeaseDuration,
+	}, replicas, sms)
+	if err != nil {
+		return nil, err
+	}
+	rs := &rangeState{
+		desc: &RangeDescriptor{
+			RangeID:  id,
+			Span:     span,
+			Replicas: append([]NodeID(nil), replicas...),
+		},
+		group: group,
+		tsc:   newTSCache(),
+	}
+	c.mu.ranges[id] = rs
+	return rs, nil
+}
+
+// rangeFor returns the range state containing key.
+func (c *Cluster) rangeFor(key keys.Key) (*rangeState, error) {
+	desc, err := c.dir.lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rs, ok := c.mu.ranges[desc.RangeID]
+	if !ok {
+		return nil, &kvpb.RangeNotFoundError{RangeID: int64(desc.RangeID)}
+	}
+	return rs, nil
+}
+
+// LookupRange returns the descriptor for the range containing key — the META
+// range lookup. Reads of META tolerate staleness (follower reads, §3.2.5):
+// callers cache results and rely on redirects when ranges move.
+func (c *Cluster) LookupRange(key keys.Key) (*RangeDescriptor, error) {
+	return c.dir.lookup(key)
+}
+
+// Descriptors returns all range descriptors in key order.
+func (c *Cluster) Descriptors() []*RangeDescriptor { return c.dir.all() }
+
+// SplitAt splits the range containing key so that key becomes a range start.
+// Used both by size/load-based splitting and by the cluster-virtualization
+// layer to place tenant boundaries on range boundaries (§3.2.1: the KV layer
+// enforces that no two tenants share a range).
+func (c *Cluster) SplitAt(key keys.Key) error {
+	rs, err := c.rangeFor(key)
+	if err != nil {
+		return err
+	}
+	rs.latch.Lock()
+	defer rs.latch.Unlock()
+	return c.splitLocked(rs, key)
+}
+
+// splitLocked performs the split with rs.latch held.
+func (c *Cluster) splitLocked(rs *rangeState, key keys.Key) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	desc := rs.desc
+	if key.Equal(desc.Span.Key) {
+		return nil // already a boundary
+	}
+	if !desc.Span.ContainsKey(key) {
+		return &kvpb.RangeKeyMismatchError{RequestedKey: key, ActualSpan: desc.Span}
+	}
+	rightSpan := keys.Span{Key: key.Clone(), EndKey: desc.Span.EndKey}
+	// The right side inherits the parent's replicas: data stays in place.
+	right, err := c.newRangeStateLocked(rightSpan, desc.Replicas)
+	if err != nil {
+		return err
+	}
+	// Shrink the left side and commit both descriptors atomically.
+	newLeft := desc.clone()
+	newLeft.Span.EndKey = key.Clone()
+	newLeft.Generation++
+	if err := c.dir.replace(desc.RangeID, newLeft, right.desc); err != nil {
+		delete(c.mu.ranges, right.desc.RangeID)
+		return err
+	}
+	rs.desc = newLeft
+	// The new right range's lease starts with the parent's leaseholder so
+	// serving continues without interruption.
+	if lh, ok := rs.group.Leaseholder(); ok {
+		_ = right.group.AcquireLease(lh)
+	}
+	// Split halves the parent's accumulated size statistic.
+	rs.statsMu.Lock()
+	rs.writtenBytes /= 2
+	rs.statsMu.Unlock()
+	return nil
+}
+
+// maybeSizeSplit splits rs down the middle if it has absorbed enough writes.
+func (c *Cluster) maybeSizeSplit(rs *rangeState, leaseholder NodeID) {
+	rs.statsMu.Lock()
+	over := rs.writtenBytes > c.cfg.SplitSizeThreshold
+	rs.statsMu.Unlock()
+	if !over {
+		return
+	}
+	n, ok := c.Node(leaseholder)
+	if !ok {
+		return
+	}
+	mid := middleKey(n, rs.desc.Span)
+	if mid == nil {
+		return
+	}
+	rs.latch.Lock()
+	defer rs.latch.Unlock()
+	_ = c.splitLocked(rs, mid)
+}
+
+// middleKey finds a user key roughly halfway through the span's data on the
+// given node's engine.
+func middleKey(n *Node, span keys.Span) keys.Key {
+	res, err := mvcc.Scan(n.engine, span, hlc.Timestamp{WallTime: 1<<62 - 1}, 0, 0)
+	if err != nil || len(res.Rows) < 2 {
+		return nil
+	}
+	mid := res.Rows[len(res.Rows)/2].Key
+	if mid.Equal(span.Key) {
+		return nil
+	}
+	return mid
+}
+
+// LeaseCounts returns the number of valid range leases held by each node —
+// the per-node lease series of Fig 12.
+func (c *Cluster) LeaseCounts() map[NodeID]int {
+	c.mu.RLock()
+	ranges := make([]*rangeState, 0, len(c.mu.ranges))
+	for _, rs := range c.mu.ranges {
+		ranges = append(ranges, rs)
+	}
+	c.mu.RUnlock()
+	out := make(map[NodeID]int)
+	for _, rs := range ranges {
+		if lh, ok := rs.group.Leaseholder(); ok {
+			out[lh]++
+		}
+	}
+	return out
+}
+
+// Tick runs periodic cluster maintenance: node ticks (AIMD, token refills,
+// capacity estimation), lease acquisition for leaderless ranges, lease
+// extension for healthy holders, and lease rebalancing toward an even spread.
+func (c *Cluster) Tick() {
+	for _, n := range c.Nodes() {
+		n.Tick()
+	}
+	c.mu.RLock()
+	ranges := make([]*rangeState, 0, len(c.mu.ranges))
+	for _, rs := range c.mu.ranges {
+		ranges = append(ranges, rs)
+	}
+	c.mu.RUnlock()
+
+	for _, rs := range ranges {
+		if lh, ok := rs.group.Leaseholder(); ok {
+			if n, exists := c.Node(lh); exists && n.Live() {
+				_ = rs.group.ExtendLease(lh)
+				continue
+			}
+		}
+		// Leaderless (or holder dead): the first live replica takes over,
+		// and catches up any replica that was behind.
+		for _, nid := range rs.group.Replicas() {
+			if c.liveness(nid) {
+				if err := rs.group.AcquireLease(nid); err == nil {
+					_ = rs.group.CatchUp(nid)
+					break
+				}
+			}
+		}
+	}
+	c.rebalanceLeases(ranges)
+}
+
+// rebalanceLeases moves leases from overloaded holders toward live nodes
+// with fewer leases (mechanism (a) of §5.1.1, operating at a longer time
+// scale than admission).
+func (c *Cluster) rebalanceLeases(ranges []*rangeState) {
+	counts := make(map[NodeID]int)
+	for _, rs := range ranges {
+		if lh, ok := rs.group.Leaseholder(); ok {
+			counts[lh]++
+		}
+	}
+	for _, rs := range ranges {
+		lh, ok := rs.group.Leaseholder()
+		if !ok {
+			continue
+		}
+		// Find the live replica with the fewest leases.
+		best := lh
+		for _, nid := range rs.group.Replicas() {
+			if c.liveness(nid) && counts[nid] < counts[best] {
+				best = nid
+			}
+		}
+		if best != lh && counts[lh]-counts[best] > 1 {
+			if err := rs.group.TransferLease(lh, best); err == nil {
+				_ = rs.group.CatchUp(best)
+				counts[lh]--
+				counts[best]++
+			}
+		}
+	}
+}
+
+// RunGC reclaims old MVCC versions across every range and node, retaining
+// versions newer than keepAfter (and always the newest committed version and
+// all intents). It returns the number of versions removed. This is the
+// storage-reclamation path behind "the only cost is for storage" (§4.2.3):
+// suspended tenants' data keeps getting compacted down.
+func (c *Cluster) RunGC(keepAfter hlc.Timestamp) (int, error) {
+	removed := 0
+	c.mu.RLock()
+	ranges := make([]*rangeState, 0, len(c.mu.ranges))
+	for _, rs := range c.mu.ranges {
+		ranges = append(ranges, rs)
+	}
+	c.mu.RUnlock()
+	for _, rs := range ranges {
+		rs.latch.Lock()
+		for _, nid := range rs.desc.Replicas {
+			n, ok := c.Node(nid)
+			if !ok {
+				continue
+			}
+			nRemoved, err := mvcc.GCOldVersions(n.engine, rs.desc.Span, keepAfter)
+			if err != nil {
+				rs.latch.Unlock()
+				return removed, err
+			}
+			removed += nRemoved
+		}
+		rs.latch.Unlock()
+	}
+	return removed, nil
+}
+
+// TenantStorageBytes reports the logical bytes a tenant stores (latest
+// visible versions, summed over one replica) — the storage-billing input for
+// suspended tenants (§6.2: storage is the only cost at zero compute).
+func (c *Cluster) TenantStorageBytes(tenant keys.TenantID) (int64, error) {
+	span := keys.MakeTenantSpan(tenant)
+	c.mu.RLock()
+	ranges := make([]*rangeState, 0)
+	for _, rs := range c.mu.ranges {
+		if rs.desc.Span.Overlaps(span) {
+			ranges = append(ranges, rs)
+		}
+	}
+	c.mu.RUnlock()
+	var total int64
+	readTs := c.hlc.Now()
+	for _, rs := range ranges {
+		// Read from any replica; storage accounting tolerates staleness.
+		n, ok := c.Node(rs.desc.Replicas[0])
+		if !ok {
+			continue
+		}
+		overlap := rs.desc.Span
+		if overlap.Key.Less(span.Key) {
+			overlap.Key = span.Key
+		}
+		if span.EndKey.Less(overlap.EndKey) {
+			overlap.EndKey = span.EndKey
+		}
+		res, err := mvcc.Scan(n.engine, overlap, readTs, 0, 0)
+		if err != nil {
+			return 0, err
+		}
+		for _, kv := range res.Rows {
+			total += int64(len(kv.Key) + len(kv.Value))
+		}
+	}
+	return total, nil
+}
+
+// Close shuts down all nodes.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes() {
+		n.Close()
+	}
+}
+
+var errRetryExhausted = errors.New("kvserver: internal retry budget exhausted")
+
+// Batch executes a batch on the given node — the KV RPC entry point. The
+// node must hold the lease for the addressed range (or the batch must be a
+// follower read on a node holding a replica). Authorization (§3.2.3) runs
+// before any data access.
+func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+	n, ok := c.Node(nodeID)
+	if !ok {
+		return nil, fmt.Errorf("kvserver: unknown node %d", nodeID)
+	}
+	c.mu.RLock()
+	auth := c.mu.auth
+	c.mu.RUnlock()
+	if auth != nil {
+		if err := auth.Authorize(id, ba); err != nil {
+			return nil, err
+		}
+	}
+	if len(ba.Requests) == 0 {
+		return &kvpb.BatchResponse{Timestamp: ba.ReadTs()}, nil
+	}
+
+	// Locate the range; every request in the batch must fall within it
+	// (DistSender splits batches at range boundaries).
+	rs, err := c.rangeFor(ba.Requests[0].Key)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range ba.Requests {
+		span := r.Span()
+		if !rs.desc.Span.ContainsKey(span.Key) {
+			return nil, &kvpb.RangeKeyMismatchError{RequestedKey: span.Key, ActualSpan: rs.desc.Span}
+		}
+		if !span.IsPoint() && rs.desc.Span.EndKey.Less(span.EndKey) {
+			return nil, &kvpb.RangeKeyMismatchError{RequestedKey: span.EndKey, ActualSpan: rs.desc.Span}
+		}
+	}
+
+	// Lease check. Follower reads only need a local replica.
+	if ba.FollowerRead && ba.IsReadOnly() {
+		if !hasReplica(rs, nodeID) {
+			return nil, &kvpb.RangeNotFoundError{RangeID: int64(rs.desc.RangeID)}
+		}
+	} else {
+		lh, ok := rs.group.Leaseholder()
+		if !ok {
+			// Try to acquire for ourselves.
+			if err := rs.group.AcquireLease(nodeID); err != nil {
+				var nle *kvpb.NotLeaseholderError
+				if errors.As(err, &nle) {
+					return nil, nle
+				}
+				return nil, &kvpb.NotLeaseholderError{RangeID: int64(rs.desc.RangeID)}
+			}
+			_ = rs.group.CatchUp(nodeID)
+		} else if lh != nodeID {
+			return nil, &kvpb.NotLeaseholderError{RangeID: int64(rs.desc.RangeID), Leaseholder: lh}
+		}
+	}
+
+	// Admission control (§5.1): writes pass the write queue, everything
+	// passes the CPU queue.
+	if err := n.admitWrite(ctx, ba); err != nil {
+		return nil, err
+	}
+	releaseCPU, err := n.admitCPU(ctx, ba)
+	if err != nil {
+		return nil, err
+	}
+
+	resp, evalErr := c.evaluateBatch(n, rs, ba)
+	// Charge ground-truth CPU: the work happens whether or not evaluation
+	// errored (conflict checks consume CPU too), but successful responses
+	// carry the payload costs.
+	cost := n.chargeCPU(ba, resp, !ba.Colocated)
+	releaseCPU(cost)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	// Size-based split check runs outside the range latch.
+	if !ba.IsReadOnly() {
+		c.maybeSizeSplit(rs, nodeID)
+	}
+	return resp, nil
+}
+
+func hasReplica(rs *rangeState, nodeID NodeID) bool {
+	for _, r := range rs.desc.Replicas {
+		if r == nodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluateBatch runs the batch against the node's engine, proposing writes
+// through the range's replication group.
+func (c *Cluster) evaluateBatch(n *Node, rs *rangeState, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+	readTs := ba.ReadTs()
+	if readTs.IsEmpty() {
+		readTs = c.hlc.Now()
+	}
+	var txnID uint64
+	if ba.Txn != nil {
+		txnID = ba.Txn.ID
+	}
+
+	resp := &kvpb.BatchResponse{Timestamp: readTs}
+
+	// All evaluation runs under the range latch: reads record into the
+	// timestamp cache and writes consult it, so a write can never land
+	// below a timestamp at which another transaction already read the key
+	// (the lost-update protection CRDB implements with its timestamp
+	// cache). Follower reads are intentionally stale and skip the cache.
+	rs.latch.Lock()
+	defer rs.latch.Unlock()
+
+	// Reads record into the timestamp cache only after the whole batch has
+	// been checked: a batch's own reads must not push its own writes (they
+	// all happen atomically at one timestamp).
+	var readSpans []keys.Span
+	defer func() {
+		if ba.FollowerRead {
+			return // intentionally stale; not a serializable read point
+		}
+		for _, sp := range readSpans {
+			rs.tsc.recordRead(sp, readTs, txnID)
+		}
+	}()
+
+	if ba.IsReadOnly() {
+		for _, r := range ba.Requests {
+			out, err := evalRead(n, r, readTs, txnID, c.rowDecoder())
+			if err != nil {
+				return nil, err
+			}
+			readSpans = append(readSpans, r.Span())
+			resp.Responses = append(resp.Responses, out)
+		}
+		return resp, nil
+	}
+
+	// checkWrite combines the timestamp-cache push with MVCC conflicts.
+	checkWrite := func(key keys.Key) error {
+		if cached := rs.tsc.maxReadOther(key, txnID); !cached.Less(readTs) {
+			return &kvpb.WriteTooOldError{Key: key.Clone(), ActualTs: cached.Next()}
+		}
+		return mvcc.CheckWriteConflict(n.engine, key, readTs, txnID)
+	}
+
+	var cmd command
+	var writtenBytes int64
+	for _, r := range ba.Requests {
+		switch r.Method {
+		case kvpb.Get, kvpb.Scan:
+			out, err := evalRead(n, r, readTs, txnID, c.rowDecoder())
+			if err != nil {
+				return nil, err
+			}
+			readSpans = append(readSpans, r.Span())
+			resp.Responses = append(resp.Responses, out)
+		case kvpb.Put:
+			if err := checkWrite(r.Key); err != nil {
+				return nil, err
+			}
+			cmd.Mutations = append(cmd.Mutations, mutation{
+				Kind: mutPut, Key: r.Key.Clone(), Ts: readTs, TxnID: txnID, Value: r.Value,
+			})
+			writtenBytes += int64(len(r.Key) + len(r.Value))
+			resp.Responses = append(resp.Responses, kvpb.Response{Method: r.Method})
+		case kvpb.Delete:
+			if err := checkWrite(r.Key); err != nil {
+				return nil, err
+			}
+			cmd.Mutations = append(cmd.Mutations, mutation{
+				Kind: mutDelete, Key: r.Key.Clone(), Ts: readTs, TxnID: txnID,
+			})
+			writtenBytes += int64(len(r.Key))
+			resp.Responses = append(resp.Responses, kvpb.Response{Method: r.Method})
+		case kvpb.DeleteRange:
+			res, err := mvcc.Scan(n.engine, r.Span(), readTs, txnID, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Report the deleted keys so a transactional caller can track
+			// (and later resolve) the intents this request lays down.
+			readSpans = append(readSpans, r.Span())
+			deleted := kvpb.Response{Method: r.Method}
+			for _, kv := range res.Rows {
+				if err := checkWrite(kv.Key); err != nil {
+					return nil, err
+				}
+				cmd.Mutations = append(cmd.Mutations, mutation{
+					Kind: mutDelete, Key: kv.Key.Clone(), Ts: readTs, TxnID: txnID,
+				})
+				writtenBytes += int64(len(kv.Key))
+				deleted.Rows = append(deleted.Rows, kvpb.KeyValue{Key: kv.Key.Clone()})
+			}
+			resp.Responses = append(resp.Responses, deleted)
+		case kvpb.ResolveIntent:
+			cmd.Mutations = append(cmd.Mutations, mutation{
+				Kind: mutResolve, Key: r.Key.Clone(), TxnID: r.ResolveTxnID,
+				Commit: r.ResolveCommit, CommitTs: r.ResolveTs,
+			})
+			resp.Responses = append(resp.Responses, kvpb.Response{Method: r.Method})
+		default:
+			return nil, fmt.Errorf("kvserver: unsupported method %s", r.Method)
+		}
+	}
+
+	if len(cmd.Mutations) > 0 {
+		payload, err := encodeCommand(cmd)
+		if err != nil {
+			return nil, err
+		}
+		if err := rs.group.Propose(n.id, payload); err != nil {
+			return nil, err
+		}
+		rs.statsMu.Lock()
+		rs.writtenBytes += writtenBytes
+		rs.statsMu.Unlock()
+	}
+	return resp, nil
+}
+
+// evalRead serves a read request from the node's local engine.
+func evalRead(n *Node, r kvpb.Request, readTs hlc.Timestamp, txnID uint64, dec RowDecoder) (kvpb.Response, error) {
+	switch r.Method {
+	case kvpb.Get:
+		v, ok, err := mvcc.Get(n.engine, r.Key, readTs, txnID)
+		if err != nil {
+			return kvpb.Response{}, err
+		}
+		return kvpb.Response{Method: r.Method, Value: v, Exists: ok}, nil
+	case kvpb.Scan:
+		res, err := mvcc.Scan(n.engine, r.Span(), readTs, txnID, r.MaxKeys)
+		if err != nil {
+			return kvpb.Response{}, err
+		}
+		out := kvpb.Response{Method: r.Method, Rows: res.Rows, ResumeSpan: res.Resume}
+		for _, kv := range res.Rows {
+			out.ScannedBytes += int64(len(kv.Key) + len(kv.Value))
+		}
+		// Row-filter push-down (§8): drop non-matching rows before they
+		// cross the process boundary. Requires a registered row codec;
+		// undecodable rows are returned unfiltered (fail open — the SQL
+		// layer re-applies the full predicate regardless).
+		if len(r.Filter) > 0 && dec != nil {
+			filter, ferr := rowfilter.Decode(r.Filter)
+			if ferr != nil {
+				return kvpb.Response{}, ferr
+			}
+			kept := out.Rows[:0]
+			for _, kv := range out.Rows {
+				acc, derr := dec(kv.Value)
+				if derr != nil || filter.Matches(acc) {
+					kept = append(kept, kv)
+				}
+			}
+			out.Rows = kept
+		}
+		return out, nil
+	default:
+		return kvpb.Response{}, fmt.Errorf("kvserver: %s is not a read", r.Method)
+	}
+}

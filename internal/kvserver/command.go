@@ -1,0 +1,79 @@
+package kvserver
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"crdbserverless/internal/hlc"
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/lsm"
+	"crdbserverless/internal/mvcc"
+)
+
+// Commands are the units replicated through a range's raft group. The
+// leaseholder evaluates a batch into logical MVCC mutations under the range
+// latch; every replica applies the same mutations deterministically.
+
+// mutationKind enumerates replicated MVCC operations.
+type mutationKind int
+
+const (
+	mutPut mutationKind = iota
+	mutDelete
+	mutResolve
+)
+
+// mutation is one replicated MVCC operation.
+type mutation struct {
+	Kind     mutationKind
+	Key      keys.Key
+	Ts       hlc.Timestamp
+	TxnID    uint64
+	Value    []byte
+	Commit   bool          // for mutResolve
+	CommitTs hlc.Timestamp // for mutResolve
+}
+
+// command is the replicated payload: an ordered list of mutations.
+type command struct {
+	Mutations []mutation
+}
+
+func encodeCommand(c command) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("kvserver: encoding command: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCommand(b []byte) (command, error) {
+	var c command
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return command{}, fmt.Errorf("kvserver: decoding command: %w", err)
+	}
+	return c, nil
+}
+
+// applyMutations applies a decoded command to an engine. It is the state
+// machine transition shared by every replica.
+func applyMutations(e *lsm.Engine, c command) error {
+	for _, m := range c.Mutations {
+		var err error
+		switch m.Kind {
+		case mutPut:
+			err = mvcc.Put(e, m.Key, m.Ts, m.TxnID, m.Value)
+		case mutDelete:
+			err = mvcc.Delete(e, m.Key, m.Ts, m.TxnID)
+		case mutResolve:
+			err = mvcc.ResolveIntent(e, m.Key, m.TxnID, m.Commit, m.CommitTs)
+		default:
+			err = fmt.Errorf("kvserver: unknown mutation kind %d", m.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package kvserver implements the shared transactional KV layer (§3.1 of the
+// paper): a cluster of nodes hosting replicated ranges, range splits by size
+// and load, a META directory mapping keys to ranges, DistSender-style request
+// routing with redirect handling, per-node admission control, and the
+// authorization hook at the SQL/KV boundary.
+package kvserver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+)
+
+// RangeID identifies a range.
+type RangeID int64
+
+// NodeID identifies a KV node.
+type NodeID = kvpb.NodeID
+
+// RangeDescriptor describes one range: its key span and replica placement.
+type RangeDescriptor struct {
+	RangeID  RangeID
+	Span     keys.Span
+	Replicas []NodeID
+	// Generation increments on every split or replica change, letting
+	// caches detect staleness.
+	Generation int64
+}
+
+// ContainsKey reports whether the range's span contains k.
+func (d *RangeDescriptor) ContainsKey(k keys.Key) bool { return d.Span.ContainsKey(k) }
+
+// String implements fmt.Stringer.
+func (d *RangeDescriptor) String() string {
+	return fmt.Sprintf("r%d:%s replicas=%v gen=%d", d.RangeID, d.Span, d.Replicas, d.Generation)
+}
+
+// metaDirectory is the range-addressing index — the role of the META range
+// (§3.2.5). Lookups may be served from stale snapshots (modeling follower
+// reads); the source of truth is updated transactionally on splits.
+type metaDirectory struct {
+	mu sync.RWMutex
+	// byStart holds descriptors sorted by span start key; spans partition
+	// the keyspace with no overlaps.
+	byStart []*RangeDescriptor
+}
+
+// lookup returns the descriptor whose span contains k.
+func (m *metaDirectory) lookup(k keys.Key) (*RangeDescriptor, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i := sort.Search(len(m.byStart), func(i int) bool {
+		return k.Less(m.byStart[i].Span.Key)
+	})
+	if i == 0 {
+		return nil, fmt.Errorf("kvserver: no range contains key %s", k)
+	}
+	d := m.byStart[i-1]
+	if !d.ContainsKey(k) {
+		return nil, fmt.Errorf("kvserver: no range contains key %s", k)
+	}
+	return d.clone(), nil
+}
+
+// all returns a snapshot of all descriptors in key order.
+func (m *metaDirectory) all() []*RangeDescriptor {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*RangeDescriptor, len(m.byStart))
+	for i, d := range m.byStart {
+		out[i] = d.clone()
+	}
+	return out
+}
+
+// insert adds a descriptor; spans must not overlap existing ones.
+func (m *metaDirectory) insert(d *RangeDescriptor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.byStart {
+		if existing.Span.Overlaps(d.Span) {
+			return fmt.Errorf("kvserver: descriptor %s overlaps %s", d, existing)
+		}
+	}
+	m.byStart = append(m.byStart, d.clone())
+	sort.Slice(m.byStart, func(i, j int) bool {
+		return m.byStart[i].Span.Key.Less(m.byStart[j].Span.Key)
+	})
+	return nil
+}
+
+// replace atomically swaps old for the given descriptors (the split commit).
+func (m *metaDirectory) replace(old RangeID, with ...*RangeDescriptor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx := -1
+	for i, d := range m.byStart {
+		if d.RangeID == old {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return fmt.Errorf("kvserver: range %d not in directory", old)
+	}
+	out := make([]*RangeDescriptor, 0, len(m.byStart)-1+len(with))
+	out = append(out, m.byStart[:idx]...)
+	out = append(out, m.byStart[idx+1:]...)
+	for _, d := range with {
+		out = append(out, d.clone())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Span.Key.Less(out[j].Span.Key)
+	})
+	m.byStart = out
+	return nil
+}
+
+func (d *RangeDescriptor) clone() *RangeDescriptor {
+	out := *d
+	out.Replicas = append([]NodeID(nil), d.Replicas...)
+	return &out
+}

@@ -1,0 +1,270 @@
+package kvserver
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+)
+
+// DistSender routes batches to the right ranges and nodes on behalf of one
+// authenticated client (a SQL node). It keeps a range-descriptor cache fed
+// by META lookups — which tolerate staleness, like the follower reads of
+// §3.2.5 — and repairs the cache on NotLeaseholder / RangeKeyMismatch
+// redirects.
+type DistSender struct {
+	cluster  *Cluster
+	identity Identity
+
+	mu struct {
+		sync.Mutex
+		// cache maps range start keys to descriptors (possibly stale).
+		cache []*RangeDescriptor
+		// leaseHints remembers the last known leaseholder per range.
+		leaseHints map[RangeID]NodeID
+	}
+}
+
+// NewDistSender returns a sender for the given identity.
+func NewDistSender(c *Cluster, id Identity) *DistSender {
+	ds := &DistSender{cluster: c, identity: id}
+	ds.mu.leaseHints = make(map[RangeID]NodeID)
+	return ds
+}
+
+// Identity returns the sender's authenticated identity.
+func (ds *DistSender) Identity() Identity { return ds.identity }
+
+// maxSendRetries bounds redirect-chasing per sub-batch.
+const maxSendRetries = 16
+
+// Send routes and executes the batch, merging per-range responses back into
+// request order.
+func (ds *DistSender) Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+	if ba.Timestamp.IsEmpty() && ba.Txn == nil {
+		ba.Timestamp = ds.cluster.Clock().Now()
+	}
+	// Fast path: single range handles everything.
+	groups, err := ds.splitByRange(ba.Requests)
+	if err != nil {
+		return nil, err
+	}
+	out := &kvpb.BatchResponse{Timestamp: ba.ReadTs()}
+	responses := make([]kvpb.Response, len(ba.Requests))
+	for _, g := range groups {
+		sub := *ba
+		sub.Requests = g.requests
+		resp, err := ds.sendToRange(ctx, g.desc, &sub)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range resp.Responses {
+			responses[g.indexes[i]] = r
+		}
+	}
+	out.Responses = responses
+	return out, nil
+}
+
+// requestGroup is a set of requests addressed to one range.
+type requestGroup struct {
+	desc     *RangeDescriptor
+	requests []kvpb.Request
+	indexes  []int // positions in the original batch
+}
+
+// splitByRange partitions requests by the (cached) range containing each
+// request's start key. Scans that cross range boundaries are split into
+// per-range sub-scans by sendToRange's mismatch handling.
+func (ds *DistSender) splitByRange(reqs []kvpb.Request) ([]requestGroup, error) {
+	byRange := make(map[RangeID]*requestGroup)
+	var order []RangeID
+	for i, r := range reqs {
+		desc, err := ds.lookup(r.Key)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := byRange[desc.RangeID]
+		if !ok {
+			g = &requestGroup{desc: desc}
+			byRange[desc.RangeID] = g
+			order = append(order, desc.RangeID)
+		}
+		g.requests = append(g.requests, r)
+		g.indexes = append(g.indexes, i)
+	}
+	out := make([]requestGroup, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byRange[id])
+	}
+	return out, nil
+}
+
+// sendToRange delivers a sub-batch to its range, chasing redirects and
+// splitting scans at range boundaries as needed.
+func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+	// Clip multi-range scans to the range and continue on the remainder.
+	for attempt := 0; attempt < maxSendRetries; attempt++ {
+		clipped, remainder := clipToRange(ba.Requests, desc.Span)
+		sub := *ba
+		sub.Requests = clipped
+		target := ds.target(desc, ba)
+		resp, err := ds.cluster.Batch(ctx, target, ds.identity, &sub)
+		if err == nil {
+			ds.noteLeaseholder(desc.RangeID, target)
+			if len(remainder) == 0 {
+				return resp, nil
+			}
+			// Continue the scan(s) on the following range(s).
+			nextDesc, lerr := ds.lookupFresh(remainder[0].Key)
+			if lerr != nil {
+				return nil, lerr
+			}
+			rest := *ba
+			rest.Requests = remainder
+			restResp, rerr := ds.sendToRange(ctx, nextDesc, &rest)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return mergeClippedResponses(ba.Requests, clipped, resp, restResp), nil
+		}
+
+		var nle *kvpb.NotLeaseholderError
+		var rkm *kvpb.RangeKeyMismatchError
+		var rnf *kvpb.RangeNotFoundError
+		switch {
+		case errors.As(err, &nle):
+			if nle.Leaseholder != 0 {
+				ds.noteLeaseholder(desc.RangeID, nle.Leaseholder)
+			} else {
+				ds.clearLeaseHint(desc.RangeID)
+			}
+		case errors.As(err, &rkm), errors.As(err, &rnf):
+			// Stale cache: refresh from META and retry.
+			fresh, lerr := ds.lookupFresh(ba.Requests[0].Key)
+			if lerr != nil {
+				return nil, lerr
+			}
+			desc = fresh
+		default:
+			return nil, err
+		}
+	}
+	return nil, errRetryExhausted
+}
+
+// target picks the node to contact: follower reads go to the first replica
+// (in production, the nearest); everything else goes to the lease hint or,
+// absent one, a replica that may acquire the lease.
+func (ds *DistSender) target(desc *RangeDescriptor, ba *kvpb.BatchRequest) NodeID {
+	if ba.FollowerRead && ba.IsReadOnly() {
+		return desc.Replicas[0]
+	}
+	ds.mu.Lock()
+	hint, ok := ds.mu.leaseHints[desc.RangeID]
+	ds.mu.Unlock()
+	if ok {
+		return hint
+	}
+	return desc.Replicas[0]
+}
+
+func (ds *DistSender) noteLeaseholder(id RangeID, n NodeID) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.mu.leaseHints[id] = n
+}
+
+func (ds *DistSender) clearLeaseHint(id RangeID) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	delete(ds.mu.leaseHints, id)
+}
+
+// lookup serves a descriptor from the cache, falling back to META.
+func (ds *DistSender) lookup(key keys.Key) (*RangeDescriptor, error) {
+	ds.mu.Lock()
+	i := sort.Search(len(ds.mu.cache), func(i int) bool {
+		return key.Less(ds.mu.cache[i].Span.Key)
+	})
+	if i > 0 && ds.mu.cache[i-1].ContainsKey(key) {
+		d := ds.mu.cache[i-1]
+		ds.mu.Unlock()
+		return d, nil
+	}
+	ds.mu.Unlock()
+	return ds.lookupFresh(key)
+}
+
+// lookupFresh reads META and updates the cache.
+func (ds *DistSender) lookupFresh(key keys.Key) (*RangeDescriptor, error) {
+	desc, err := ds.cluster.LookupRange(key)
+	if err != nil {
+		return nil, err
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	// Evict overlapping stale entries, insert the fresh one, restore order.
+	kept := ds.mu.cache[:0]
+	for _, d := range ds.mu.cache {
+		if !d.Span.Overlaps(desc.Span) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, desc)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Span.Key.Less(kept[j].Span.Key) })
+	ds.mu.cache = kept
+	return desc, nil
+}
+
+// clipToRange truncates requests to the range span. Point requests and
+// in-range spans pass through; scans extending beyond the range are split
+// into an in-range part and a remainder.
+func clipToRange(reqs []kvpb.Request, span keys.Span) (clipped, remainder []kvpb.Request) {
+	for _, r := range reqs {
+		s := r.Span()
+		if s.IsPoint() || !span.EndKey.Less(s.EndKey) {
+			clipped = append(clipped, r)
+			continue
+		}
+		head := r
+		head.EndKey = span.EndKey.Clone()
+		clipped = append(clipped, head)
+		tail := r
+		tail.Key = span.EndKey.Clone()
+		remainder = append(remainder, tail)
+	}
+	return clipped, remainder
+}
+
+// mergeClippedResponses merges the responses of a clipped scan and its
+// remainder back into one response per original request.
+func mergeClippedResponses(orig, clipped []kvpb.Request, head, rest *kvpb.BatchResponse) *kvpb.BatchResponse {
+	out := &kvpb.BatchResponse{Timestamp: head.Timestamp}
+	restIdx := 0
+	for i := range orig {
+		r := head.Responses[i]
+		// A clipped ranged request has its continuation in rest, in order.
+		if len(orig[i].EndKey) != 0 && !orig[i].EndKey.Equal(clipped[i].EndKey) {
+			if restIdx < len(rest.Responses) {
+				cont := rest.Responses[restIdx]
+				restIdx++
+				if r.ResumeSpan == nil {
+					r.Rows = append(r.Rows, cont.Rows...)
+					r.ResumeSpan = cont.ResumeSpan
+				}
+			}
+		}
+		// Re-apply a scan's row limit across the merged parts.
+		if max := orig[i].MaxKeys; max > 0 && int64(len(r.Rows)) > max {
+			resume := keys.Span{Key: r.Rows[max].Key.Clone(), EndKey: orig[i].EndKey}
+			r.Rows = r.Rows[:max]
+			r.ResumeSpan = &resume
+		}
+		out.Responses = append(out.Responses, r)
+	}
+	return out
+}

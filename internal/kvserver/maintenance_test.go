@@ -1,0 +1,135 @@
+package kvserver
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+)
+
+func TestCordonedNodeShedsLeases(t *testing.T) {
+	c := newTestCluster(t, 3)
+	for tid := keys.TenantID(2); tid < 8; tid++ {
+		c.SplitAt(keys.MakeTenantPrefix(tid))
+	}
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	counts := c.LeaseCounts()
+	if counts[1] == 0 {
+		t.Skip("node 1 holds no leases after balancing")
+	}
+	n1, _ := c.Node(1)
+	n1.SetCordoned(true)
+	if n1.Live() {
+		t.Fatal("cordoned node reports live")
+	}
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	counts = c.LeaseCounts()
+	if counts[1] != 0 {
+		t.Fatalf("cordoned node still holds %d leases", counts[1])
+	}
+	// Writes keep flowing: the surviving quorum serves.
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	ctx := context.Background()
+	if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{
+		putReq(tenantKey(2, "during-outage"), "v")}}); err != nil {
+		t.Fatalf("write during cordon: %v", err)
+	}
+	// Un-cordon: the node becomes eligible again, catches up, and can
+	// serve reads of data written while it was out.
+	n1.SetCordoned(false)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if !n1.Live() {
+		t.Fatal("un-cordoned node not live")
+	}
+	resp, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{
+		getReq(tenantKey(2, "during-outage"))}})
+	if err != nil || !resp.Responses[0].Exists {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestClusterRunGC(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	ctx := context.Background()
+	k := tenantKey(2, "hot")
+	// Build version history.
+	for i := 0; i < 10; i++ {
+		if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{
+			putReq(k, fmt.Sprintf("v%d", i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := c.Clock().Now()
+	removed, err := c.RunGC(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 old versions × 3 replicas.
+	if removed != 27 {
+		t.Fatalf("gc removed %d versions, want 27", removed)
+	}
+	// The newest version survives.
+	resp, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{getReq(k)}})
+	if err != nil || string(resp.Responses[0].Value) != "v9" {
+		t.Fatalf("after gc = %q, %v", resp.Responses[0].Value, err)
+	}
+	// A second GC finds nothing.
+	removed, err = c.RunGC(c.Clock().Now())
+	if err != nil || removed != 0 {
+		t.Fatalf("second gc removed %d, %v", removed, err)
+	}
+}
+
+func TestTenantStorageBytes(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ctx := context.Background()
+	// Carve two tenants and fill them unevenly.
+	for _, tid := range []keys.TenantID{2, 3} {
+		c.SplitAt(keys.MakeTenantPrefix(tid))
+		c.SplitAt(keys.MakeTenantSpan(tid).EndKey)
+	}
+	ds2 := NewDistSender(c, Identity{Tenant: 2})
+	ds3 := NewDistSender(c, Identity{Tenant: 3})
+	for i := 0; i < 10; i++ {
+		ds2.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{
+			putReq(tenantKey(2, fmt.Sprintf("k%02d", i)), "0123456789")}})
+	}
+	ds3.Send(ctx, &kvpb.BatchRequest{Tenant: 3, Requests: []kvpb.Request{
+		putReq(tenantKey(3, "solo"), "x")}})
+
+	b2, err := c.TenantStorageBytes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := c.TenantStorageBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 <= b3 || b3 == 0 {
+		t.Fatalf("storage accounting: tenant2=%d tenant3=%d", b2, b3)
+	}
+	// Overwrites do not inflate the logical size (old versions are not
+	// billed).
+	before := b2
+	for i := 0; i < 5; i++ {
+		ds2.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{
+			putReq(tenantKey(2, "k00"), "0123456789")}})
+	}
+	after, _ := c.TenantStorageBytes(2)
+	if after != before {
+		t.Fatalf("logical size changed on overwrite: %d -> %d", before, after)
+	}
+	// Empty tenant reads as zero.
+	if b, _ := c.TenantStorageBytes(99); b != 0 {
+		t.Fatalf("empty tenant storage = %d", b)
+	}
+}

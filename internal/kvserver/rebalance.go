@@ -1,0 +1,313 @@
+package kvserver
+
+import (
+	"fmt"
+
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/lsm"
+	"crdbserverless/internal/mvcc"
+	"crdbserverless/internal/raftlite"
+)
+
+// Replica movement and KV fleet membership — the substrate for automatic
+// KV/storage node scaling, the paper's first future-work item (§8): "CRDB's
+// architecture already supports dynamic sharding and rebalancing to make use
+// of added nodes or shift data away from nodes being removed."
+
+// AddNode joins a new KV node to the cluster. New ranges may place replicas
+// on it immediately; existing data moves via MoveReplica/RebalanceReplicas.
+func (c *Cluster) AddNode(n *Node) error {
+	c.nodesMu.Lock()
+	defer c.nodesMu.Unlock()
+	if _, dup := c.nodesMu.nodes[n.id]; dup {
+		return fmt.Errorf("kvserver: node %d already exists", n.id)
+	}
+	c.nodesMu.nodes[n.id] = n
+	c.nodesMu.nodeOrder = append(c.nodesMu.nodeOrder, n.id)
+	return nil
+}
+
+// RemoveNode removes an empty KV node from the cluster. Every range must
+// have been moved off it first (drain with MoveReplica).
+func (c *Cluster) RemoveNode(id NodeID) error {
+	if n := c.replicaCount(id); n > 0 {
+		return fmt.Errorf("kvserver: node %d still holds %d replicas", id, n)
+	}
+	c.nodesMu.Lock()
+	n, ok := c.nodesMu.nodes[id]
+	if !ok {
+		c.nodesMu.Unlock()
+		return fmt.Errorf("kvserver: unknown node %d", id)
+	}
+	delete(c.nodesMu.nodes, id)
+	for i, x := range c.nodesMu.nodeOrder {
+		if x == id {
+			c.nodesMu.nodeOrder = append(c.nodesMu.nodeOrder[:i], c.nodesMu.nodeOrder[i+1:]...)
+			break
+		}
+	}
+	c.nodesMu.Unlock()
+	n.Close()
+	return nil
+}
+
+// replicaCount returns the number of range replicas on a node.
+func (c *Cluster) replicaCount(id NodeID) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, rs := range c.mu.ranges {
+		for _, r := range rs.desc.Replicas {
+			if r == id {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ReplicaCounts returns replicas per node across all ranges.
+func (c *Cluster) ReplicaCounts() map[NodeID]int {
+	out := make(map[NodeID]int)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, rs := range c.mu.ranges {
+		for _, r := range rs.desc.Replicas {
+			out[r]++
+		}
+	}
+	return out
+}
+
+// MoveReplica relocates one range replica from one node to another: the
+// range's data is copied from a healthy replica's engine to the target, and
+// the replication group is rebuilt over the new membership. Writes to the
+// range are blocked (range latch) for the duration.
+func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
+	c.mu.RLock()
+	rs, ok := c.mu.ranges[rangeID]
+	c.mu.RUnlock()
+	if !ok {
+		return &kvpb.RangeNotFoundError{RangeID: int64(rangeID)}
+	}
+	target, ok := c.Node(to)
+	if !ok {
+		return fmt.Errorf("kvserver: unknown target node %d", to)
+	}
+
+	rs.latch.Lock()
+	defer rs.latch.Unlock()
+
+	desc := rs.desc
+	hasFrom, hasTo := false, false
+	for _, r := range desc.Replicas {
+		if r == from {
+			hasFrom = true
+		}
+		if r == to {
+			hasTo = true
+		}
+	}
+	if !hasFrom {
+		return fmt.Errorf("kvserver: range %d has no replica on node %d", rangeID, from)
+	}
+	if hasTo {
+		return fmt.Errorf("kvserver: range %d already has a replica on node %d", rangeID, to)
+	}
+
+	// Copy the range's data from a live replica (prefer the leaseholder).
+	src := from
+	if lh, ok := rs.group.Leaseholder(); ok {
+		src = lh
+	}
+	srcNode, ok := c.Node(src)
+	if !ok || !srcNode.Live() {
+		// Fall back to any live replica.
+		found := false
+		for _, r := range desc.Replicas {
+			if n, ok := c.Node(r); ok && n.Live() {
+				srcNode = n
+				src = r
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("kvserver: range %d has no live replica to copy from", rangeID)
+		}
+	}
+	if err := copySpanData(srcNode.engine, target.engine, rs); err != nil {
+		return err
+	}
+
+	// Rebuild membership and the replication group. The copied engine state
+	// is the new replica's snapshot; the fresh group's log starts after it.
+	newReplicas := make([]NodeID, 0, len(desc.Replicas))
+	for _, r := range desc.Replicas {
+		if r != from {
+			newReplicas = append(newReplicas, r)
+		}
+	}
+	newReplicas = append(newReplicas, to)
+	sms := make([]raftlite.StateMachine, len(newReplicas))
+	for i, nid := range newReplicas {
+		n, ok := c.Node(nid)
+		if !ok {
+			return fmt.Errorf("kvserver: unknown node %d", nid)
+		}
+		sms[i] = engineSM{n: n}
+	}
+	group, err := raftlite.NewGroup(raftlite.Config{
+		RangeID:       int64(rangeID),
+		Clock:         c.clock,
+		Liveness:      c.liveness,
+		LeaseDuration: c.cfg.LeaseDuration,
+	}, newReplicas, sms)
+	if err != nil {
+		return err
+	}
+	// Restore a lease: the previous holder if it survived the move,
+	// otherwise the new replica.
+	prevLH, hadLease := rs.group.Leaseholder()
+	newLH := to
+	if hadLease && prevLH != from {
+		newLH = prevLH
+	}
+	_ = group.AcquireLease(newLH)
+
+	newDesc := desc.clone()
+	newDesc.Replicas = newReplicas
+	newDesc.Generation++
+
+	c.mu.Lock()
+	rs.desc = newDesc
+	rs.group = group
+	err = c.dir.replace(rangeID, newDesc)
+	c.mu.Unlock()
+	return err
+}
+
+// copySpanData copies every raw engine entry of the range's span from src to
+// dst. Intents and all MVCC versions move as-is.
+func copySpanData(src, dst *lsm.Engine, rs *rangeState) error {
+	lo, hi := mvcc.EngineSpan(rs.desc.Span)
+	var batch []lsm.Entry
+	for it := src.NewIter(lo, hi); it.Valid(); it.Next() {
+		batch = append(batch, lsm.Entry{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+		if len(batch) >= 1024 {
+			if err := dst.ApplyBatch(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		return dst.ApplyBatch(batch)
+	}
+	return nil
+}
+
+// RebalanceReplicas moves up to maxMoves replicas from the most-loaded node
+// to the least-loaded live node. It returns the number of moves performed.
+func (c *Cluster) RebalanceReplicas(maxMoves int) int {
+	moves := 0
+	for moves < maxMoves {
+		counts := c.ReplicaCounts()
+		var maxNode, minNode NodeID
+		maxCount, minCount := -1, 1<<30
+		for _, n := range c.Nodes() {
+			if !n.Live() {
+				continue
+			}
+			cnt := counts[n.id]
+			if cnt > maxCount {
+				maxCount, maxNode = cnt, n.id
+			}
+			if cnt < minCount {
+				minCount, minNode = cnt, n.id
+			}
+		}
+		if maxNode == 0 || minNode == 0 || maxNode == minNode || maxCount-minCount <= 1 {
+			return moves
+		}
+		// Find a range on maxNode without a replica on minNode.
+		var candidate RangeID
+		c.mu.RLock()
+		for id, rs := range c.mu.ranges {
+			onMax, onMin := false, false
+			for _, r := range rs.desc.Replicas {
+				if r == maxNode {
+					onMax = true
+				}
+				if r == minNode {
+					onMin = true
+				}
+			}
+			if onMax && !onMin {
+				candidate = id
+				break
+			}
+		}
+		c.mu.RUnlock()
+		if candidate == 0 {
+			return moves
+		}
+		if err := c.MoveReplica(candidate, maxNode, minNode); err != nil {
+			return moves
+		}
+		moves++
+	}
+	return moves
+}
+
+// DrainNodeReplicas moves every replica off a node (preparing it for
+// removal), spreading them over the live nodes with the fewest replicas.
+func (c *Cluster) DrainNodeReplicas(id NodeID) error {
+	for {
+		// Find a range with a replica on the node.
+		var candidate RangeID
+		var members map[NodeID]bool
+		c.mu.RLock()
+		for rid, rs := range c.mu.ranges {
+			for _, r := range rs.desc.Replicas {
+				if r == id {
+					candidate = rid
+					members = make(map[NodeID]bool)
+					for _, m := range rs.desc.Replicas {
+						members[m] = true
+					}
+					break
+				}
+			}
+			if candidate != 0 {
+				break
+			}
+		}
+		c.mu.RUnlock()
+		if candidate == 0 {
+			return nil
+		}
+		// Target: live non-member with the fewest replicas.
+		counts := c.ReplicaCounts()
+		var target NodeID
+		best := 1 << 30
+		for _, n := range c.Nodes() {
+			if n.id == id || members[n.id] || !n.Live() {
+				continue
+			}
+			if counts[n.id] < best {
+				best = counts[n.id]
+				target = n.id
+			}
+		}
+		if target == 0 {
+			return fmt.Errorf("kvserver: no target node to drain range %d onto", candidate)
+		}
+		if err := c.MoveReplica(candidate, id, target); err != nil {
+			return err
+		}
+	}
+}

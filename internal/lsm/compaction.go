@@ -1,0 +1,126 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+)
+
+// maybeCompact runs compactions until the level invariants hold: L0 file
+// count below threshold and every level below its size target. Compactions
+// run synchronously on the caller; the engine is single-writer from the
+// perspective of the replica state machine above it, so deterministic
+// caller-driven compaction keeps experiments reproducible.
+func (e *Engine) maybeCompact() {
+	for i := 0; i < 64; i++ { // bound runaway loops defensively
+		if !e.compactOnce() {
+			return
+		}
+	}
+}
+
+// compactOnce picks and executes at most one compaction. It reports whether
+// any work was done.
+func (e *Engine) compactOnce() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mu.closed {
+		return false
+	}
+	// Priority 1: L0 backlog. A deep L0 inflates read amplification, which
+	// is exactly the bottleneck §5.1.3 describes.
+	if len(e.mu.levels[0]) >= e.opts.L0CompactionThreshold {
+		e.compactLevelLocked(0)
+		return true
+	}
+	// Priority 2: size-triggered compaction of L1..L5 into the next level.
+	target := e.opts.LBaseMaxBytes
+	for lvl := 1; lvl < numLevels-1; lvl++ {
+		var b int64
+		for _, t := range e.mu.levels[lvl] {
+			b += t.sizeB
+		}
+		if b > target {
+			e.compactLevelLocked(lvl)
+			return true
+		}
+		target *= 10
+	}
+	return false
+}
+
+// compactLevelLocked merges all of level lvl plus the overlapping tables of
+// lvl+1 into lvl+1.
+func (e *Engine) compactLevelLocked(lvl int) {
+	from := e.mu.levels[lvl]
+	if len(from) == 0 {
+		return
+	}
+	next := lvl + 1
+
+	// Compute the key range covered by the input tables.
+	var lo, hi []byte
+	for _, t := range from {
+		if len(t.entries) == 0 {
+			continue
+		}
+		if lo == nil || bytes.Compare(t.minKey, lo) < 0 {
+			lo = t.minKey
+		}
+		if hi == nil || bytes.Compare(t.maxKey, hi) > 0 {
+			hi = t.maxKey
+		}
+	}
+
+	var overlapping, keep []*ssTable
+	for _, t := range e.mu.levels[next] {
+		if t.overlaps(lo, hi) {
+			overlapping = append(overlapping, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+
+	// Newer runs first: L0 is stored newest-first; within L1+ tables are
+	// disjoint so order does not matter, but inputs from the upper level
+	// are newer than the lower level.
+	runs := make([][]Entry, 0, len(from)+len(overlapping))
+	for _, t := range from {
+		runs = append(runs, t.entries)
+	}
+	for _, t := range overlapping {
+		runs = append(runs, t.entries)
+	}
+	// Tombstones can be dropped only when no data can exist beneath the
+	// output level: the merge then contains every surviving version of the
+	// deleted keys, so the tombstone shadows nothing.
+	bottommost := true
+	for l := next + 1; l < numLevels; l++ {
+		if len(e.mu.levels[l]) > 0 {
+			bottommost = false
+			break
+		}
+	}
+	merged := mergeRuns(runs, bottommost)
+
+	out := newSSTable(e.mu.nextID, merged)
+	e.mu.nextID++
+	keep = append(keep, out)
+	sort.Slice(keep, func(i, j int) bool {
+		return bytes.Compare(keep[i].minKey, keep[j].minKey) < 0
+	})
+	e.mu.levels[lvl] = nil
+	e.mu.levels[next] = keep
+	e.mu.metrics.CompactedBytes += out.sizeB
+	e.mu.metrics.CompactionCount++
+}
+
+// Compact forces a full manual compaction of every level down to the bottom.
+func (e *Engine) Compact() {
+	for lvl := 0; lvl < numLevels-1; lvl++ {
+		e.mu.Lock()
+		if len(e.mu.levels[lvl]) > 0 {
+			e.compactLevelLocked(lvl)
+		}
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,245 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"crdbserverless/internal/randutil"
+)
+
+// numLevels is the number of on-disk levels (L0..L6), following Pebble.
+const numLevels = 7
+
+// Options configures an Engine.
+type Options struct {
+	// MemTableSize is the flush threshold in bytes. Defaults to 4 MiB.
+	MemTableSize int64
+	// L0CompactionThreshold is the number of L0 files that triggers an
+	// L0->Lbase compaction. Defaults to 4.
+	L0CompactionThreshold int
+	// LBaseMaxBytes is the target size of L1; each deeper level is 10x
+	// larger. Defaults to 16 MiB.
+	LBaseMaxBytes int64
+	// Seed seeds the skiplist RNG. Defaults to 0 (deterministic).
+	Seed int64
+	// DisableAutoCompactions turns off compaction scheduling after writes;
+	// tests use this to construct specific level shapes.
+	DisableAutoCompactions bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MemTableSize == 0 {
+		out.MemTableSize = 4 << 20
+	}
+	if out.L0CompactionThreshold == 0 {
+		out.L0CompactionThreshold = 4
+	}
+	if out.LBaseMaxBytes == 0 {
+		out.LBaseMaxBytes = 16 << 20
+	}
+	return out
+}
+
+// Metrics is a point-in-time snapshot of engine instrumentation. Admission
+// control's capacity estimator (§5.1.3) consumes FlushedBytes,
+// CompactedBytes, and L0 state.
+type Metrics struct {
+	// L0Files is the current number of sstables in level 0. A backlog here
+	// increases read amplification and signals that compactions are behind.
+	L0Files int
+	// L0Bytes is the total bytes in level 0.
+	L0Bytes int64
+	// LevelBytes reports the bytes resident in each level.
+	LevelBytes [numLevels]int64
+	// FlushedBytes is the cumulative bytes flushed from memtables to L0.
+	FlushedBytes int64
+	// CompactedBytes is the cumulative bytes written by compactions.
+	CompactedBytes int64
+	// FlushCount and CompactionCount are cumulative operation counts.
+	FlushCount      int64
+	CompactionCount int64
+	// WALBytes is the cumulative bytes appended to the write-ahead log.
+	WALBytes int64
+	// MemTableBytes is the current size of the active memtable.
+	MemTableBytes int64
+	// ReadAmplification is the number of sorted runs a read may consult:
+	// memtable + L0 files + one per non-empty deeper level.
+	ReadAmplification int
+}
+
+// Engine is a single-node LSM storage engine. It is safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu struct {
+		sync.RWMutex
+		mem     *memTable
+		levels  [numLevels][]*ssTable // L0 newest-first; L1+ sorted, non-overlapping
+		nextID  uint64
+		metrics Metrics
+		closed  bool
+	}
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("lsm: engine is closed")
+
+// New returns an empty Engine.
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts.withDefaults()}
+	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed))
+	e.mu.nextID = 1
+	return e
+}
+
+// Set writes key=value.
+func (e *Engine) Set(key, value []byte) error {
+	return e.apply(Entry{Key: cloneBytes(key), Value: cloneBytes(value)})
+}
+
+// Delete writes a tombstone for key.
+func (e *Engine) Delete(key []byte) error {
+	return e.apply(Entry{Key: cloneBytes(key), Tombstone: true})
+}
+
+// ApplyBatch writes a batch of entries atomically with respect to flushes.
+func (e *Engine) ApplyBatch(entries []Entry) error {
+	e.mu.Lock()
+	if e.mu.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	for _, ent := range entries {
+		ent.Key = cloneBytes(ent.Key)
+		ent.Value = cloneBytes(ent.Value)
+		e.mu.metrics.WALBytes += ent.size()
+		e.mu.mem.set(ent)
+	}
+	e.mu.metrics.MemTableBytes = e.mu.mem.sizeB
+	needFlush := e.mu.mem.sizeB >= e.opts.MemTableSize
+	e.mu.Unlock()
+	if needFlush {
+		return e.Flush()
+	}
+	return nil
+}
+
+func (e *Engine) apply(ent Entry) error {
+	return e.ApplyBatch([]Entry{ent})
+}
+
+// Get returns the value for key. The boolean reports whether the key exists
+// (a tombstone reads as not found).
+func (e *Engine) Get(key []byte) ([]byte, bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.mu.closed {
+		return nil, false, ErrClosed
+	}
+	if ent, ok := e.mu.mem.get(key); ok {
+		if ent.Tombstone {
+			return nil, false, nil
+		}
+		return cloneBytes(ent.Value), true, nil
+	}
+	// L0: newest first.
+	for _, t := range e.mu.levels[0] {
+		if ent, ok := t.get(key); ok {
+			if ent.Tombstone {
+				return nil, false, nil
+			}
+			return cloneBytes(ent.Value), true, nil
+		}
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		for _, t := range e.mu.levels[lvl] {
+			if ent, ok := t.get(key); ok {
+				if ent.Tombstone {
+					return nil, false, nil
+				}
+				return cloneBytes(ent.Value), true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Flush moves the active memtable into a new L0 sstable.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	if e.mu.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.mu.mem.empty() {
+		e.mu.Unlock()
+		return nil
+	}
+	entries := e.mu.mem.entries()
+	t := newSSTable(e.mu.nextID, entries)
+	e.mu.nextID++
+	// L0 is ordered newest-first so reads hit the freshest run first.
+	e.mu.levels[0] = append([]*ssTable{t}, e.mu.levels[0]...)
+	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed + int64(e.mu.nextID)))
+	e.mu.metrics.FlushedBytes += t.sizeB
+	e.mu.metrics.FlushCount++
+	e.mu.metrics.MemTableBytes = 0
+	auto := !e.opts.DisableAutoCompactions
+	e.mu.Unlock()
+	if auto {
+		e.maybeCompact()
+	}
+	return nil
+}
+
+// Metrics returns a snapshot of the engine's instrumentation.
+func (e *Engine) Metrics() Metrics {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m := e.mu.metrics
+	m.L0Files = len(e.mu.levels[0])
+	m.MemTableBytes = e.mu.mem.sizeB
+	var l0Bytes int64
+	for _, t := range e.mu.levels[0] {
+		l0Bytes += t.sizeB
+	}
+	m.L0Bytes = l0Bytes
+	m.ReadAmplification = 1 + len(e.mu.levels[0])
+	for lvl := 0; lvl < numLevels; lvl++ {
+		var b int64
+		for _, t := range e.mu.levels[lvl] {
+			b += t.sizeB
+		}
+		m.LevelBytes[lvl] = b
+		if lvl >= 1 && len(e.mu.levels[lvl]) > 0 {
+			m.ReadAmplification++
+		}
+	}
+	return m
+}
+
+// Close releases the engine. Subsequent operations return ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mu.closed = true
+}
+
+// String summarizes the level shape for debugging.
+func (e *Engine) String() string {
+	m := e.Metrics()
+	s := fmt.Sprintf("mem=%dB", m.MemTableBytes)
+	for lvl := 0; lvl < numLevels; lvl++ {
+		s += fmt.Sprintf(" L%d=%dB", lvl, m.LevelBytes[lvl])
+	}
+	return s
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

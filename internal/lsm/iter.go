@@ -1,0 +1,150 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+)
+
+// Iterator merges the memtable and all levels into a single forward scan over
+// [lo, hi). A nil hi means scan to the end of the keyspace. Tombstones are
+// resolved: deleted keys are not surfaced. The iterator operates over a
+// snapshot of the engine's runs taken at creation time.
+type Iterator struct {
+	h       iterHeap
+	cur     Entry
+	valid   bool
+	hi      []byte
+	lastKey []byte
+}
+
+// NewIter returns an iterator positioned before the first key >= lo.
+func (e *Engine) NewIter(lo, hi []byte) *Iterator {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	it := &Iterator{hi: hi}
+	prio := 0
+
+	// Memtable is the newest source.
+	var memEntries []Entry
+	for n := e.mu.mem.seek(lo); n != nil; n = n.next[0] {
+		if hi != nil && bytes.Compare(n.key, hi) >= 0 {
+			break
+		}
+		memEntries = append(memEntries, n.entry)
+	}
+	if len(memEntries) > 0 {
+		it.h = append(it.h, &iterCursor{entries: memEntries, prio: prio})
+	}
+	prio++
+
+	// L0 newest-first, then deeper levels.
+	for _, t := range e.mu.levels[0] {
+		if c := cursorFor(t, lo, hi, prio); c != nil {
+			it.h = append(it.h, c)
+		}
+		prio++
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		for _, t := range e.mu.levels[lvl] {
+			if c := cursorFor(t, lo, hi, prio); c != nil {
+				it.h = append(it.h, c)
+			}
+		}
+		prio++
+	}
+	heap.Init(&it.h)
+	it.Next()
+	return it
+}
+
+func cursorFor(t *ssTable, lo, hi []byte, prio int) *iterCursor {
+	start := 0
+	if lo != nil {
+		start = t.seekIdx(lo)
+	}
+	if start >= len(t.entries) {
+		return nil
+	}
+	if hi != nil && bytes.Compare(t.entries[start].Key, hi) >= 0 {
+		return nil
+	}
+	return &iterCursor{entries: t.entries, idx: start, prio: prio}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current key. Only valid while Valid() is true.
+func (it *Iterator) Key() []byte { return it.cur.Key }
+
+// Value returns the current value. Only valid while Valid() is true.
+func (it *Iterator) Value() []byte { return it.cur.Value }
+
+// Next advances to the next live (non-tombstone) key.
+func (it *Iterator) Next() {
+	for {
+		e, ok := it.popNext()
+		if !ok {
+			it.valid = false
+			return
+		}
+		if e.Tombstone {
+			continue
+		}
+		it.cur = e
+		it.valid = true
+		return
+	}
+}
+
+// popNext pops the next distinct key, resolving shadowing by priority.
+func (it *Iterator) popNext() (Entry, bool) {
+	for it.h.Len() > 0 {
+		c := it.h[0]
+		e := c.entries[c.idx]
+		if it.hi != nil && bytes.Compare(e.Key, it.hi) >= 0 {
+			heap.Pop(&it.h)
+			continue
+		}
+		c.idx++
+		if c.idx >= len(c.entries) {
+			heap.Pop(&it.h)
+		} else {
+			heap.Fix(&it.h, 0)
+		}
+		if it.lastKey != nil && bytes.Equal(e.Key, it.lastKey) {
+			continue // shadowed by a newer run already surfaced
+		}
+		it.lastKey = e.Key
+		return e, true
+	}
+	return Entry{}, false
+}
+
+type iterCursor struct {
+	entries []Entry
+	idx     int
+	prio    int // lower is newer
+}
+
+type iterHeap []*iterCursor
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	cmp := bytes.Compare(h[i].entries[h[i].idx].Key, h[j].entries[h[j].idx].Key)
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return h[i].prio < h[j].prio
+}
+func (h iterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x interface{}) { *h = append(*h, x.(*iterCursor)) }
+func (h *iterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}

@@ -1,0 +1,119 @@
+// Package lsm implements a log-structured merge tree storage engine in the
+// style of Pebble (§5.1.3 of the paper): an in-memory memtable backed by a
+// write-ahead log, a level 0 of possibly-overlapping immutable runs, and
+// levels 1..6 of non-overlapping runs maintained by compaction.
+//
+// The engine exposes the instrumentation that CockroachDB's admission control
+// derives write capacity from: flush throughput, compaction throughput, and
+// the L0 file/backlog state that drives read amplification.
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const maxSkipLevel = 12
+
+type skipNode struct {
+	key   []byte
+	entry Entry
+	next  [maxSkipLevel]*skipNode
+}
+
+// memTable is a skiplist-based ordered map from key to Entry. It is not
+// internally synchronized; the Engine serializes access.
+type memTable struct {
+	head   *skipNode
+	level  int
+	rng    *rand.Rand
+	count  int
+	sizeB  int64 // approximate bytes of keys+values
+	maxKey []byte
+	minKey []byte
+}
+
+func newMemTable(rng *rand.Rand) *memTable {
+	return &memTable{head: &skipNode{}, level: 1, rng: rng}
+}
+
+func (m *memTable) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && m.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// set inserts or overwrites the entry for key.
+func (m *memTable) set(e Entry) {
+	var update [maxSkipLevel]*skipNode
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, e.Key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, e.Key) {
+		m.sizeB += int64(len(e.Value) - len(n.entry.Value))
+		n.entry = e
+		return
+	}
+	lvl := m.randomLevel()
+	if lvl > m.level {
+		for i := m.level; i < lvl; i++ {
+			update[i] = m.head
+		}
+		m.level = lvl
+	}
+	n := &skipNode{key: e.Key, entry: e}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.count++
+	m.sizeB += int64(len(e.Key) + len(e.Value) + 16)
+	if m.minKey == nil || bytes.Compare(e.Key, m.minKey) < 0 {
+		m.minKey = e.Key
+	}
+	if m.maxKey == nil || bytes.Compare(e.Key, m.maxKey) > 0 {
+		m.maxKey = e.Key
+	}
+}
+
+// get returns the entry for key, if present.
+func (m *memTable) get(key []byte) (Entry, bool) {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		return n.entry, true
+	}
+	return Entry{}, false
+}
+
+// seek returns the first node with key >= target.
+func (m *memTable) seek(target []byte) *skipNode {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, target) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// entries returns all entries in key order.
+func (m *memTable) entries() []Entry {
+	out := make([]Entry, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+func (m *memTable) empty() bool { return m.count == 0 }

@@ -1,0 +1,124 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Entry is a single key-value record. A tombstone marks a deletion that
+// shadows older versions of the key in lower levels until compacted away.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// size returns the approximate on-disk footprint of the entry.
+func (e Entry) size() int64 { return int64(len(e.Key) + len(e.Value) + 16) }
+
+// ssTable is an immutable sorted run of entries. In a disk-backed engine this
+// would be a file of blocks; here it is an in-memory sorted slice, which
+// preserves every property the system above cares about (sorted immutable
+// runs, per-level overlap invariants, compaction byte accounting).
+type ssTable struct {
+	id      uint64
+	entries []Entry
+	sizeB   int64
+	minKey  []byte
+	maxKey  []byte
+}
+
+func newSSTable(id uint64, entries []Entry) *ssTable {
+	t := &ssTable{id: id, entries: entries}
+	for _, e := range entries {
+		t.sizeB += e.size()
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].Key
+		t.maxKey = entries[len(entries)-1].Key
+	}
+	return t
+}
+
+// get returns the entry for key, if present in this table.
+func (t *ssTable) get(key []byte) (Entry, bool) {
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return bytes.Compare(t.entries[i].Key, key) >= 0
+	})
+	if i < len(t.entries) && bytes.Equal(t.entries[i].Key, key) {
+		return t.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// seekIdx returns the index of the first entry with key >= target.
+func (t *ssTable) seekIdx(target []byte) int {
+	return sort.Search(len(t.entries), func(i int) bool {
+		return bytes.Compare(t.entries[i].Key, target) >= 0
+	})
+}
+
+// overlaps reports whether the table's key range intersects [lo, hi]. A nil
+// hi means +infinity; a nil lo means -infinity.
+func (t *ssTable) overlaps(lo, hi []byte) bool {
+	if len(t.entries) == 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(t.minKey, hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(t.maxKey, lo) < 0 {
+		return false
+	}
+	return true
+}
+
+func (t *ssTable) String() string {
+	return fmt.Sprintf("sst-%d[%q,%q] %dB", t.id, t.minKey, t.maxKey, t.sizeB)
+}
+
+// mergeRuns merges sorted runs into a single sorted run. Runs earlier in the
+// slice take precedence for duplicate keys (they are newer). If dropTombstones
+// is set, tombstones are elided from the output (valid only when merging into
+// the bottommost level).
+func mergeRuns(runs [][]Entry, dropTombstones bool) []Entry {
+	type cursor struct {
+		run []Entry
+		idx int
+	}
+	cursors := make([]cursor, len(runs))
+	for i, r := range runs {
+		cursors[i] = cursor{run: r}
+	}
+	var out []Entry
+	for {
+		best := -1
+		for i := range cursors {
+			c := &cursors[i]
+			if c.idx >= len(c.run) {
+				continue
+			}
+			if best == -1 || bytes.Compare(c.run[c.idx].Key, cursors[best].run[cursors[best].idx].Key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := cursors[best].run[cursors[best].idx]
+		cursors[best].idx++
+		// Skip older duplicates in other runs.
+		for i := range cursors {
+			c := &cursors[i]
+			for c.idx < len(c.run) && bytes.Equal(c.run[c.idx].Key, e.Key) {
+				c.idx++
+			}
+		}
+		if e.Tombstone && dropTombstones {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+// Package metric implements the lightweight metrics primitives the system
+// needs: latency histograms with percentile extraction, counters, gauges, and
+// windowed time series. The autoscaler's 5-minute average/peak CPU inputs
+// (§4.2.3 of the paper) and every latency table in the evaluation are
+// computed with these types.
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations into exponential buckets and reports
+// percentiles. It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	counts  []uint64
+	total   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	samples []time.Duration // exact values kept up to sampleCap for precise quantiles
+}
+
+// sampleCap bounds the exact-sample reservoir. Below the cap percentiles are
+// exact; above it they fall back to bucket interpolation.
+const sampleCap = 1 << 16
+
+// numBuckets covers 1ns..~18h with ~4 buckets per doubling.
+const numBuckets = 64 * 4
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, numBuckets), min: math.MaxInt64}
+}
+
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	// 4 sub-buckets per power of two.
+	f := math.Log2(float64(d)) * 4
+	b := int(f)
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+func bucketUpper(b int) time.Duration {
+	return time.Duration(math.Pow(2, float64(b+1)/4))
+}
+
+// Record adds a single duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[bucketFor(d)]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < sampleCap {
+		h.samples = append(h.samples, d)
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average of all observations, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the recorded values.
+// While the reservoir holds every sample the result is exact; afterwards it
+// is interpolated from bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if uint64(len(h.samples)) == h.total {
+		s := append([]time.Duration(nil), h.samples...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		idx := int(q * float64(len(s)-1))
+		return s[idx]
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			return bucketUpper(b)
+		}
+	}
+	return h.max
+}
+
+// P50 is shorthand for Quantile(0.50).
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Snapshot returns a point-in-time summary of the histogram.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// Summary is a point-in-time latency summary.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the summary in a compact table-friendly form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc adds delta (which must be non-negative) to the counter.
+func (c *Counter) Inc(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a concurrent float64 gauge.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}

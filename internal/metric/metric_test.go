@@ -1,0 +1,190 @@
+package metric
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.P50() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramExactQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.P50(); got < 49*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", got)
+	}
+	if got := h.P99(); got < 98*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~99ms", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", got)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	if got := h.Quantile(-1); got != 5*time.Millisecond {
+		t.Fatalf("Quantile(-1) = %v", got)
+	}
+	if got := h.Quantile(2); got != 5*time.Millisecond {
+		t.Fatalf("Quantile(2) = %v", got)
+	}
+}
+
+func TestHistogramBucketFallback(t *testing.T) {
+	h := NewHistogram()
+	// Overflow the exact-sample reservoir to force bucket interpolation.
+	for i := 0; i < sampleCap+1000; i++ {
+		h.Record(time.Duration(1+i%100) * time.Millisecond)
+	}
+	p50 := h.P50()
+	// Bucketed estimate should land within a factor of ~2 of the true 50ms.
+	if p50 < 25*time.Millisecond || p50 > 110*time.Millisecond {
+		t.Fatalf("bucketed p50 = %v, want within 2x of 50ms", p50)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	// Property: for any set of recorded values, Quantile is monotonic in q.
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(time.Duration(v) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if str := s.String(); str == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(5)
+	c.Inc(3)
+	c.Inc(-1) // ignored
+	if c.Value() != 8 {
+		t.Fatalf("counter = %d, want 8", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	if g.Value() != 4.0 {
+		t.Fatalf("gauge = %f, want 4", g.Value())
+	}
+}
+
+func TestTimeSeriesWindowQueries(t *testing.T) {
+	ts := NewTimeSeries(0)
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		ts.Add(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	now := base.Add(9 * time.Second)
+	// Window of 5s covers samples at t=5..9 (values 5..9).
+	if got := ts.WindowAvg(now, 5*time.Second); got != 7 {
+		t.Fatalf("WindowAvg = %f, want 7", got)
+	}
+	if got := ts.WindowMax(now, 5*time.Second); got != 9 {
+		t.Fatalf("WindowMax = %f, want 9", got)
+	}
+	// Empty window.
+	if got := ts.WindowAvg(base.Add(-time.Hour), time.Second); got != 0 {
+		t.Fatalf("empty WindowAvg = %f", got)
+	}
+	if got := ts.WindowMax(base.Add(-time.Hour), time.Second); got != 0 {
+		t.Fatalf("empty WindowMax = %f", got)
+	}
+}
+
+func TestTimeSeriesRetention(t *testing.T) {
+	ts := NewTimeSeries(10 * time.Second)
+	base := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		ts.Add(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if n := ts.Len(); n > 12 {
+		t.Fatalf("retention did not trim: %d samples", n)
+	}
+	latest, ok := ts.Latest()
+	if !ok || latest.Value != 99 {
+		t.Fatalf("latest = %+v ok=%v", latest, ok)
+	}
+}
+
+func TestTimeSeriesLatestEmpty(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if _, ok := ts.Latest(); ok {
+		t.Fatal("empty series reported a latest sample")
+	}
+}
+
+func TestTimeSeriesSamplesCopy(t *testing.T) {
+	ts := NewTimeSeries(0)
+	ts.Add(time.Unix(1, 0), 1)
+	s := ts.Samples()
+	s[0].Value = 42
+	if got := ts.Samples()[0].Value; got != 1 {
+		t.Fatalf("Samples() must return a copy; got mutated value %f", got)
+	}
+}

@@ -1,0 +1,114 @@
+package metric
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one timestamped observation in a TimeSeries.
+type Sample struct {
+	At    time.Time
+	Value float64
+}
+
+// TimeSeries stores timestamped float64 samples and answers windowed
+// average/maximum queries. The autoscaler (§4.2.3) computes its target from
+// the 5-minute moving average and 5-minute peak of per-tenant CPU usage; this
+// type provides exactly those queries. It is safe for concurrent use.
+type TimeSeries struct {
+	mu        sync.Mutex
+	samples   []Sample
+	retention time.Duration
+}
+
+// NewTimeSeries returns a TimeSeries that retains samples for at least the
+// given duration (relative to the newest sample). A zero retention keeps
+// everything.
+func NewTimeSeries(retention time.Duration) *TimeSeries {
+	return &TimeSeries{retention: retention}
+}
+
+// Add appends a sample. Samples should be added in non-decreasing time
+// order; out-of-order samples are accepted but windowed queries assume
+// ordering for trimming.
+func (ts *TimeSeries) Add(at time.Time, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.samples = append(ts.samples, Sample{At: at, Value: v})
+	if ts.retention > 0 {
+		cutoff := at.Add(-ts.retention)
+		i := 0
+		for i < len(ts.samples) && ts.samples[i].At.Before(cutoff) {
+			i++
+		}
+		if i > 0 {
+			ts.samples = append(ts.samples[:0], ts.samples[i:]...)
+		}
+	}
+}
+
+// Len returns the number of retained samples.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.samples)
+}
+
+// Samples returns a copy of all retained samples in insertion order.
+func (ts *TimeSeries) Samples() []Sample {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Sample, len(ts.samples))
+	copy(out, ts.samples)
+	return out
+}
+
+// Latest returns the most recent sample and true, or a zero Sample and false
+// if the series is empty.
+func (ts *TimeSeries) Latest() (Sample, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.samples) == 0 {
+		return Sample{}, false
+	}
+	return ts.samples[len(ts.samples)-1], true
+}
+
+// WindowAvg returns the mean of samples with At in (now-window, now]. It
+// returns 0 if the window contains no samples.
+func (ts *TimeSeries) WindowAvg(now time.Time, window time.Duration) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cutoff := now.Add(-window)
+	var sum float64
+	var n int
+	for _, s := range ts.samples {
+		if s.At.After(cutoff) && !s.At.After(now) {
+			sum += s.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WindowMax returns the maximum of samples with At in (now-window, now], or 0
+// if the window contains no samples.
+func (ts *TimeSeries) WindowMax(now time.Time, window time.Duration) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	cutoff := now.Add(-window)
+	var max float64
+	var seen bool
+	for _, s := range ts.samples {
+		if s.At.After(cutoff) && !s.At.After(now) {
+			if !seen || s.Value > max {
+				max = s.Value
+				seen = true
+			}
+		}
+	}
+	return max
+}

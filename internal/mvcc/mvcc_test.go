@@ -1,0 +1,424 @@
+package mvcc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"crdbserverless/internal/hlc"
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/lsm"
+)
+
+func ts(wall int64) hlc.Timestamp { return hlc.Timestamp{WallTime: wall} }
+
+func newEngine() *lsm.Engine { return lsm.New(lsm.Options{}) }
+
+func TestEncodeKeyNewestFirst(t *testing.T) {
+	k := keys.Key("user")
+	newer := EncodeKey(k, ts(10))
+	older := EncodeKey(k, ts(5))
+	if bytes.Compare(newer, older) >= 0 {
+		t.Fatal("newer version must sort before older")
+	}
+	sameWall := EncodeKey(k, hlc.Timestamp{WallTime: 10, Logical: 3})
+	if bytes.Compare(sameWall, newer) >= 0 {
+		t.Fatal("higher logical must sort before lower at same wall")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(user []byte, wall int64, logical int32) bool {
+		if wall < 0 {
+			wall = -wall
+		}
+		if logical < 0 {
+			logical = -logical
+		}
+		in := hlc.Timestamp{WallTime: wall, Logical: logical}
+		k, gotTs, err := DecodeKey(EncodeKey(keys.Key(user), in))
+		return err == nil && bytes.Equal(k, user) && gotTs.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	if _, _, err := DecodeKey([]byte{0x99}); err == nil {
+		t.Fatal("garbage key should error")
+	}
+	valid := EncodeKey(keys.Key("k"), ts(1))
+	if _, _, err := DecodeKey(valid[:len(valid)-1]); err == nil {
+		t.Fatal("truncated key should error")
+	}
+	if _, _, err := DecodeKey(append(valid, 0x01)); err == nil {
+		t.Fatal("trailing bytes should error")
+	}
+}
+
+func TestPutGetAtTimestamps(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	if err := Put(e, k, ts(10), 0, []byte("v10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Put(e, k, ts(20), 0, []byte("v20")); err != nil {
+		t.Fatal(err)
+	}
+	// Read below the first version: not found.
+	if _, ok, err := Get(e, k, ts(5), 0); err != nil || ok {
+		t.Fatalf("read@5 = ok=%v err=%v", ok, err)
+	}
+	// Snapshot reads see the version at or below their timestamp.
+	if v, ok, _ := Get(e, k, ts(10), 0); !ok || string(v) != "v10" {
+		t.Fatalf("read@10 = %q %v", v, ok)
+	}
+	if v, ok, _ := Get(e, k, ts(15), 0); !ok || string(v) != "v10" {
+		t.Fatalf("read@15 = %q %v", v, ok)
+	}
+	if v, ok, _ := Get(e, k, ts(25), 0); !ok || string(v) != "v20" {
+		t.Fatalf("read@25 = %q %v", v, ok)
+	}
+}
+
+func TestWriteTooOld(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(20), 0, []byte("v"))
+	err := Put(e, k, ts(10), 0, []byte("stale"))
+	var wto *kvpb.WriteTooOldError
+	if !errors.As(err, &wto) {
+		t.Fatalf("expected WriteTooOldError, got %v", err)
+	}
+	if !ts(20).Less(wto.ActualTs) {
+		t.Fatalf("ActualTs %v must exceed existing version ts", wto.ActualTs)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 0, []byte("v"))
+	if err := Delete(e, k, ts(20), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Old snapshot still sees the value (time travel).
+	if v, ok, _ := Get(e, k, ts(15), 0); !ok || string(v) != "v" {
+		t.Fatalf("read@15 after delete = %q %v", v, ok)
+	}
+	// New snapshot sees the deletion.
+	if _, ok, _ := Get(e, k, ts(25), 0); ok {
+		t.Fatal("read@25 should not see deleted key")
+	}
+}
+
+func TestIntentVisibilityRules(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 0, []byte("committed"))
+	if err := Put(e, k, ts(20), 77, []byte("provisional")); err != nil {
+		t.Fatal(err)
+	}
+	// The writing txn reads its own intent.
+	if v, ok, err := Get(e, k, ts(20), 77); err != nil || !ok || string(v) != "provisional" {
+		t.Fatalf("own intent read = %q %v %v", v, ok, err)
+	}
+	// Another reader below the intent timestamp reads underneath it.
+	if v, ok, err := Get(e, k, ts(15), 0); err != nil || !ok || string(v) != "committed" {
+		t.Fatalf("read below intent = %q %v %v", v, ok, err)
+	}
+	// A reader at/above the intent timestamp conflicts.
+	_, _, err := Get(e, k, ts(25), 0)
+	var wie *kvpb.WriteIntentError
+	if !errors.As(err, &wie) || wie.TxnID != 77 {
+		t.Fatalf("expected WriteIntentError{77}, got %v", err)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 1, []byte("txn1"))
+	err := Put(e, k, ts(20), 2, []byte("txn2"))
+	var wie *kvpb.WriteIntentError
+	if !errors.As(err, &wie) || wie.TxnID != 1 {
+		t.Fatalf("expected WriteIntentError{1}, got %v", err)
+	}
+}
+
+func TestIntentRewriteBySameTxn(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 5, []byte("v1"))
+	if err := Put(e, k, ts(12), 5, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := Get(e, k, ts(12), 5)
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("rewritten intent = %q %v %v", v, ok, err)
+	}
+	// Only one intent exists: committing yields exactly one version.
+	if err := ResolveIntent(e, k, 5, true, ts(12)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := Get(e, k, ts(100), 0); !ok || string(v) != "v2" {
+		t.Fatalf("after commit = %q %v", v, ok)
+	}
+}
+
+func TestResolveIntentCommit(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 9, []byte("v"))
+	if err := ResolveIntent(e, k, 9, true, ts(12)); err != nil {
+		t.Fatal(err)
+	}
+	// Committed at ts 12, not 10.
+	if _, ok, _ := Get(e, k, ts(11), 0); ok {
+		t.Fatal("value should not be visible below commit ts")
+	}
+	if v, ok, err := Get(e, k, ts(12), 0); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("committed read = %q %v %v", v, ok, err)
+	}
+}
+
+func TestResolveIntentAbort(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(5), 0, []byte("old"))
+	Put(e, k, ts(10), 9, []byte("aborted"))
+	if err := ResolveIntent(e, k, 9, false, hlc.Timestamp{}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := Get(e, k, ts(100), 0)
+	if err != nil || !ok || string(v) != "old" {
+		t.Fatalf("after abort = %q %v %v", v, ok, err)
+	}
+}
+
+func TestResolveIntentIdempotent(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 9, []byte("v"))
+	ResolveIntent(e, k, 9, true, ts(10))
+	// Second resolution is a no-op, not an error, and must not disturb the
+	// committed version.
+	if err := ResolveIntent(e, k, 9, true, ts(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Resolving a different txn's id is also a no-op.
+	if err := ResolveIntent(e, k, 42, false, hlc.Timestamp{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := Get(e, k, ts(10), 0); !ok || string(v) != "v" {
+		t.Fatalf("value disturbed: %q %v", v, ok)
+	}
+}
+
+func TestScanBasics(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		Put(e, keys.Key(fmt.Sprintf("k%d", i)), ts(10), 0, []byte(fmt.Sprintf("v%d", i)))
+	}
+	Delete(e, keys.Key("k2"), ts(20), 0)
+	res, err := Scan(e, keys.Span{Key: keys.Key("k0"), EndKey: keys.Key("k9")}, ts(30), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range res.Rows {
+		got = append(got, string(r.Key)+"="+string(r.Value))
+	}
+	want := []string{"k0=v0", "k1=v1", "k3=v3", "k4=v4"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	if res.Resume != nil {
+		t.Fatal("unexpected resume span")
+	}
+}
+
+func TestScanSnapshot(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	Put(e, keys.Key("a"), ts(10), 0, []byte("a10"))
+	Put(e, keys.Key("a"), ts(30), 0, []byte("a30"))
+	Put(e, keys.Key("b"), ts(20), 0, []byte("b20"))
+	res, err := Scan(e, keys.Span{Key: keys.Key("a"), EndKey: keys.Key("z")}, ts(15), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || string(res.Rows[0].Value) != "a10" {
+		t.Fatalf("snapshot scan = %+v", res.Rows)
+	}
+}
+
+func TestScanResumeSpan(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		Put(e, keys.Key(fmt.Sprintf("k%d", i)), ts(10), 0, []byte("v"))
+	}
+	span := keys.Span{Key: keys.Key("k0"), EndKey: keys.Key("k9\xff")}
+	res, err := Scan(e, span, ts(20), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if res.Resume == nil || !res.Resume.Key.Equal(keys.Key("k3")) {
+		t.Fatalf("resume = %v, want start at k3", res.Resume)
+	}
+	// Resuming covers the remainder exactly once.
+	res2, err := Scan(e, *res.Resume, ts(20), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 7 {
+		t.Fatalf("resumed scan rows = %d, want 7", len(res2.Rows))
+	}
+}
+
+func TestScanIntentConflict(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	Put(e, keys.Key("a"), ts(10), 0, []byte("v"))
+	Put(e, keys.Key("b"), ts(10), 3, []byte("intent"))
+	_, err := Scan(e, keys.Span{Key: keys.Key("a"), EndKey: keys.Key("z")}, ts(20), 0, 0)
+	var wie *kvpb.WriteIntentError
+	if !errors.As(err, &wie) || wie.TxnID != 3 {
+		t.Fatalf("expected intent conflict, got %v", err)
+	}
+	// The same scan by the intent's owner succeeds and sees the intent.
+	res, err := Scan(e, keys.Span{Key: keys.Key("a"), EndKey: keys.Key("z")}, ts(20), 3, 0)
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("owner scan = %+v, %v", res.Rows, err)
+	}
+}
+
+func TestScanPointSpan(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	Put(e, keys.Key("a"), ts(10), 0, []byte("v"))
+	Put(e, keys.Key("a2"), ts(10), 0, []byte("x"))
+	res, err := Scan(e, keys.Span{Key: keys.Key("a")}, ts(20), 0, 0)
+	if err != nil || len(res.Rows) != 1 || string(res.Rows[0].Key) != "a" {
+		t.Fatalf("point scan = %+v %v", res.Rows, err)
+	}
+}
+
+func TestGCOldVersions(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	for i := int64(1); i <= 5; i++ {
+		Put(e, k, ts(i*10), 0, []byte(fmt.Sprintf("v%d", i)))
+	}
+	// Keep versions newer than ts 100 (none) -> newest committed survives.
+	n, err := GCOldVersions(e, keys.Span{Key: keys.Key("a"), EndKey: keys.Key("z")}, ts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("gc removed %d versions, want 4", n)
+	}
+	if v, ok, _ := Get(e, k, ts(100), 0); !ok || string(v) != "v5" {
+		t.Fatalf("newest version lost: %q %v", v, ok)
+	}
+	// Historical read below the GC'd versions now misses.
+	if _, ok, _ := Get(e, k, ts(15), 0); ok {
+		t.Fatal("GC'd version still visible")
+	}
+}
+
+func TestGCKeepsIntentsAndRecent(t *testing.T) {
+	e := newEngine()
+	defer e.Close()
+	k := keys.Key("k")
+	Put(e, k, ts(10), 0, []byte("old"))
+	Put(e, k, ts(20), 0, []byte("mid"))
+	Put(e, k, ts(30), 7, []byte("intent"))
+	// keepAfter=15: version@20 is recent, intent survives, version@10 is
+	// shadowed by version@20 (the newest committed <= keepAfter boundary
+	// logic retains the newest non-recent committed version as well).
+	n, err := GCOldVersions(e, keys.Span{Key: keys.Key("a"), EndKey: keys.Key("z")}, ts(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("gc removed %d, want 1 (only v@10)", n)
+	}
+	if v, ok, err := Get(e, k, ts(30), 7); err != nil || !ok || string(v) != "intent" {
+		t.Fatalf("intent lost: %q %v %v", v, ok, err)
+	}
+	if v, ok, _ := Get(e, k, ts(25), 0); !ok || string(v) != "mid" {
+		t.Fatalf("recent version lost: %q %v", v, ok)
+	}
+}
+
+func TestMVCCPropertySnapshotIsolation(t *testing.T) {
+	// Property: non-transactional writes at increasing timestamps; any read
+	// at timestamp T sees exactly the last write at or before T.
+	type write struct {
+		KeyIdx uint8
+		Val    uint16
+	}
+	f := func(ws []write) bool {
+		e := newEngine()
+		defer e.Close()
+		history := map[string][]struct {
+			ts  int64
+			val string
+		}{}
+		for i, w := range ws {
+			k := fmt.Sprintf("k%d", w.KeyIdx%8)
+			v := fmt.Sprintf("v%d", w.Val)
+			wts := int64(i + 1)
+			if err := Put(e, keys.Key(k), ts(wts), 0, []byte(v)); err != nil {
+				return false
+			}
+			history[k] = append(history[k], struct {
+				ts  int64
+				val string
+			}{wts, v})
+		}
+		for k, h := range history {
+			for _, probe := range []int64{0, 1, int64(len(ws) / 2), int64(len(ws)) + 5} {
+				var want string
+				found := false
+				for _, rec := range h {
+					if rec.ts <= probe {
+						want = rec.val
+						found = true
+					}
+				}
+				got, ok, err := Get(e, keys.Key(k), ts(probe), 0)
+				if err != nil {
+					return false
+				}
+				if ok != found || (found && string(got) != want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"crdbserverless/internal/wire"
+)
+
+// proxiedConn is one client connection pinned to a backend SQL node. The
+// proxy relays whole frames; because the protocol is strict request/response,
+// the moments between a response and the next request are exactly the idle
+// windows in which a session may migrate (§4.2.4: migration happens when the
+// client session is idle).
+type proxiedConn struct {
+	proxy      *Proxy
+	client     net.Conn
+	tenantName string
+	origin     string
+	startup    wire.Startup
+
+	mu      sync.Mutex
+	backend net.Conn
+	baddr   string
+
+	migrateCh chan string
+	closedCh  chan struct{}
+	closeOnce sync.Once
+}
+
+// connectBackend dials the SQL node and forwards the startup handshake.
+func (pc *proxiedConn) connectBackend(addr string, startup *wire.Startup) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteMessage(conn, wire.MsgStartup, startup); err != nil {
+		conn.Close()
+		return err
+	}
+	typ, payload, err := wire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if typ != wire.MsgAuth {
+		conn.Close()
+		return fmt.Errorf("proxy: unexpected handshake response %c", typ)
+	}
+	var auth wire.Auth
+	if err := wire.Decode(payload, &auth); err != nil {
+		conn.Close()
+		return err
+	}
+	if !auth.OK {
+		conn.Close()
+		return &wire.AuthError{Msg: auth.Msg}
+	}
+	pc.mu.Lock()
+	pc.backend = conn
+	pc.baddr = addr
+	pc.mu.Unlock()
+	return nil
+}
+
+func (pc *proxiedConn) backendAddr() string {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.baddr
+}
+
+func (pc *proxiedConn) close() {
+	pc.closeOnce.Do(func() {
+		close(pc.closedCh)
+		pc.client.Close()
+		pc.mu.Lock()
+		if pc.backend != nil {
+			pc.backend.Close()
+		}
+		pc.mu.Unlock()
+	})
+}
+
+type frame struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// relay runs the request/response pump until either side closes. Between
+// exchanges — while the client is idle — pending migration requests execute.
+func (pc *proxiedConn) relay() {
+	defer pc.close()
+
+	clientFrames := make(chan frame)
+	go func() {
+		for {
+			typ, payload, err := wire.ReadMessage(pc.client)
+			select {
+			case clientFrames <- frame{typ, payload, err}:
+				if err != nil {
+					return
+				}
+			case <-pc.closedCh:
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-pc.closedCh:
+			return
+		case to := <-pc.migrateCh:
+			if err := pc.migrate(to); err != nil {
+				// Migration failure must not disturb the client; the
+				// session simply stays where it is.
+				continue
+			}
+		case fr := <-clientFrames:
+			if fr.err != nil {
+				return
+			}
+			if fr.typ == wire.MsgTerminate {
+				pc.mu.Lock()
+				if pc.backend != nil {
+					wire.WriteMessage(pc.backend, wire.MsgTerminate, &wire.Terminate{})
+				}
+				pc.mu.Unlock()
+				return
+			}
+			if err := pc.exchange(fr); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// exchange forwards one request and pumps its response back.
+func (pc *proxiedConn) exchange(fr frame) error {
+	pc.mu.Lock()
+	backend := pc.backend
+	pc.mu.Unlock()
+	if backend == nil {
+		return errors.New("proxy: no backend")
+	}
+	if err := writeRaw(backend, fr.typ, fr.payload); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadMessage(backend)
+	if err != nil {
+		return err
+	}
+	return writeRaw(pc.client, typ, payload)
+}
+
+// migrate executes the session-migration protocol: serialize on the old
+// node, restore on the new one, swap connections (§4.2.4). The client never
+// observes the swap.
+func (pc *proxiedConn) migrate(toAddr string) error {
+	pc.mu.Lock()
+	old := pc.backend
+	oldAddr := pc.baddr
+	pc.mu.Unlock()
+	if old == nil {
+		return errors.New("proxy: no backend to migrate from")
+	}
+	if oldAddr == toAddr {
+		return nil
+	}
+
+	// 1. Capture the session. The node refuses if the session is not idle
+	// (open transaction), in which case we simply don't migrate now.
+	if err := wire.WriteMessage(old, wire.MsgSerialize, &wire.Serialize{}); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadMessage(old)
+	if err != nil || typ != wire.MsgSerialized {
+		return fmt.Errorf("proxy: serialize handshake failed: %v", err)
+	}
+	var ser wire.Serialized
+	if err := wire.Decode(payload, &ser); err != nil {
+		return err
+	}
+	if ser.Err != "" {
+		return errors.New(ser.Err)
+	}
+
+	// 2. Restore on the new node using the revival token inside the blob —
+	// no client re-authentication.
+	conn, err := net.Dial("tcp", toAddr)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteMessage(conn, wire.MsgRestore, &wire.Restore{Data: ser.Data}); err != nil {
+		conn.Close()
+		return err
+	}
+	typ, payload, err = wire.ReadMessage(conn)
+	if err != nil || typ != wire.MsgAuth {
+		conn.Close()
+		return fmt.Errorf("proxy: restore handshake failed: %v", err)
+	}
+	var auth wire.Auth
+	if err := wire.Decode(payload, &auth); err != nil || !auth.OK {
+		conn.Close()
+		return fmt.Errorf("proxy: restore rejected: %s", auth.Msg)
+	}
+
+	// 3. Swap.
+	pc.mu.Lock()
+	pc.backend = conn
+	pc.baddr = toAddr
+	pc.mu.Unlock()
+	old.Close()
+	pc.proxy.releaseBackend(oldAddr)
+	pc.proxy.mu.Lock()
+	pc.proxy.mu.connsPerBackend[toAddr]++
+	pc.proxy.mu.Unlock()
+	pc.proxy.noteMigration()
+	return nil
+}
+
+func writeRaw(conn net.Conn, typ byte, payload []byte) error {
+	hdr := []byte{typ, byte(len(payload) >> 24), byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}

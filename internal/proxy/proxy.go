@@ -1,0 +1,449 @@
+// Package proxy implements the routing and load-balancing layer of §4.2.2:
+// a TCP proxy that identifies the tenant from the startup message, routes to
+// the tenant's SQL nodes with a least-connections policy, throttles failed
+// authentication with exponential backoff, enforces IP allow/deny lists, and
+// transparently migrates idle sessions between SQL nodes (§4.2.4).
+package proxy
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/wire"
+)
+
+// Backend is one SQL node a tenant connection may be routed to.
+type Backend struct {
+	ID       int64
+	Addr     string
+	Draining bool
+}
+
+// Directory resolves tenants to SQL nodes. The orchestrator implements it;
+// for a suspended tenant, Lookup triggers the cold-start path (pulling a
+// warm node and stamping it) before returning.
+type Directory interface {
+	Lookup(ctx context.Context, tenantName string) ([]Backend, error)
+}
+
+// Config configures a Proxy.
+type Config struct {
+	Directory Directory
+	Clock     timeutil.Clock
+	// ThrottleBase is the initial backoff after a failed authentication
+	// (doubles per failure). Defaults to 100ms.
+	ThrottleBase time.Duration
+	// AllowList and DenyList match client IP prefixes. An empty allow list
+	// admits everyone not denied; deny wins over allow.
+	AllowList []string
+	DenyList  []string
+}
+
+// Proxy is a running proxy server.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu struct {
+		sync.Mutex
+		closed bool
+		// connsPerBackend drives least-connections routing.
+		connsPerBackend map[string]int
+		conns           map[*proxiedConn]struct{}
+		throttle        map[string]*throttleState
+		migrations      int64
+		authFailures    int64
+	}
+	wg sync.WaitGroup
+}
+
+type throttleState struct {
+	failures int
+	until    time.Time
+}
+
+// New returns a Proxy (call Start).
+func New(cfg Config) *Proxy {
+	if cfg.Clock == nil {
+		cfg.Clock = timeutil.NewRealClock()
+	}
+	if cfg.ThrottleBase == 0 {
+		cfg.ThrottleBase = 100 * time.Millisecond
+	}
+	p := &Proxy{cfg: cfg}
+	p.mu.connsPerBackend = make(map[string]int)
+	p.mu.conns = make(map[*proxiedConn]struct{})
+	p.mu.throttle = make(map[string]*throttleState)
+	return p
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port).
+func (p *Proxy) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close shuts the proxy down, closing all proxied connections.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.mu.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.closed = true
+	conns := make([]*proxiedConn, 0, len(p.mu.conns))
+	for c := range p.mu.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	p.wg.Wait()
+}
+
+// Migrations returns the number of completed session migrations.
+func (p *Proxy) Migrations() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mu.migrations
+}
+
+// AuthFailures returns the number of rejected authentication attempts seen.
+func (p *Proxy) AuthFailures() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mu.authFailures
+}
+
+// ActiveConns returns the number of proxied connections.
+func (p *Proxy) ActiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.mu.conns)
+}
+
+// ConnsPerBackend returns a snapshot of per-backend connection counts.
+func (p *Proxy) ConnsPerBackend() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.mu.connsPerBackend))
+	for k, v := range p.mu.connsPerBackend {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handleConn(conn)
+		}()
+	}
+}
+
+func clientOrigin(conn net.Conn) string {
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conn.RemoteAddr().String()
+	}
+	return host
+}
+
+// ipAllowed applies the deny/allow lists (§4.2.2's second security control).
+func (p *Proxy) ipAllowed(origin string) bool {
+	for _, d := range p.cfg.DenyList {
+		if strings.HasPrefix(origin, d) {
+			return false
+		}
+	}
+	if len(p.cfg.AllowList) == 0 {
+		return true
+	}
+	for _, a := range p.cfg.AllowList {
+		if strings.HasPrefix(origin, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// throttled reports whether the origin is inside its auth-failure backoff.
+func (p *Proxy) throttled(origin string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.mu.throttle[origin]
+	return ok && p.cfg.Clock.Now().Before(st.until)
+}
+
+// noteAuthFailure applies exponential backoff to the origin.
+func (p *Proxy) noteAuthFailure(origin string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mu.authFailures++
+	st := p.mu.throttle[origin]
+	if st == nil {
+		st = &throttleState{}
+		p.mu.throttle[origin] = st
+	}
+	st.failures++
+	backoff := p.cfg.ThrottleBase << uint(st.failures-1)
+	if backoff > time.Minute {
+		backoff = time.Minute
+	}
+	st.until = p.cfg.Clock.Now().Add(backoff)
+}
+
+// noteAuthSuccess clears the origin's backoff.
+func (p *Proxy) noteAuthSuccess(origin string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.mu.throttle, origin)
+}
+
+// pickBackend chooses the non-draining backend with the fewest proxied
+// connections ("least connections", §4.2.2).
+func (p *Proxy) pickBackend(backends []Backend) (Backend, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := -1
+	for i, b := range backends {
+		if b.Draining {
+			continue
+		}
+		if best == -1 || p.mu.connsPerBackend[b.Addr] < p.mu.connsPerBackend[backends[best].Addr] {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Backend{}, errors.New("proxy: no healthy SQL nodes")
+	}
+	p.mu.connsPerBackend[backends[best].Addr]++
+	return backends[best], nil
+}
+
+func (p *Proxy) releaseBackend(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mu.connsPerBackend[addr] > 0 {
+		p.mu.connsPerBackend[addr]--
+	}
+}
+
+func (p *Proxy) handleConn(client net.Conn) {
+	defer client.Close()
+	origin := clientOrigin(client)
+	if !p.ipAllowed(origin) {
+		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: "address not allowed"})
+		return
+	}
+	if p.throttled(origin) {
+		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: "too many failed attempts; backoff in effect"})
+		return
+	}
+	// Identify the tenant from the startup message before any routing.
+	typ, payload, err := wire.ReadMessage(client)
+	if err != nil || typ != wire.MsgStartup {
+		return
+	}
+	var startup wire.Startup
+	if err := wire.Decode(payload, &startup); err != nil {
+		return
+	}
+	tenantName := startup.Params["tenant"]
+	if tenantName == "" {
+		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: "tenant parameter required"})
+		return
+	}
+
+	ctx := context.Background()
+	backends, err := p.cfg.Directory.Lookup(ctx, tenantName)
+	if err != nil {
+		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: err.Error()})
+		return
+	}
+	backend, err := p.pickBackend(backends)
+	if err != nil {
+		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: err.Error()})
+		return
+	}
+
+	pc := &proxiedConn{
+		proxy:      p,
+		client:     client,
+		tenantName: tenantName,
+		origin:     origin,
+		startup:    startup,
+		migrateCh:  make(chan string, 1),
+		closedCh:   make(chan struct{}),
+	}
+	if err := pc.connectBackend(backend.Addr, &startup); err != nil {
+		p.releaseBackend(backend.Addr)
+		// Detect the backend's negative auth response and throttle.
+		var authErr *wire.AuthError
+		if errors.As(err, &authErr) {
+			p.noteAuthFailure(origin)
+			wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: authErr.Msg})
+		} else {
+			wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: err.Error()})
+		}
+		return
+	}
+	p.noteAuthSuccess(origin)
+	if err := wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: true}); err != nil {
+		pc.close()
+		p.releaseBackend(backend.Addr)
+		return
+	}
+
+	p.mu.Lock()
+	p.mu.conns[pc] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.mu.conns, pc)
+		p.mu.Unlock()
+		p.releaseBackend(pc.backendAddr())
+	}()
+
+	pc.relay()
+}
+
+// RequestMigrations asks every connection currently on fromAddr to migrate
+// to toAddr at its next idle moment (used for scale-down draining and
+// post-scale-up smoothing, §4.2.2).
+func (p *Proxy) RequestMigrations(fromAddr, toAddr string) int {
+	p.mu.Lock()
+	conns := make([]*proxiedConn, 0)
+	for pc := range p.mu.conns {
+		if pc.backendAddr() == fromAddr {
+			conns = append(conns, pc)
+		}
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, pc := range conns {
+		select {
+		case pc.migrateCh <- toAddr:
+			n++
+		default: // a migration is already pending
+		}
+	}
+	return n
+}
+
+// RequestMigration asks exactly one connection on fromAddr to migrate to
+// toAddr at its next idle moment. It reports whether a connection accepted
+// the request.
+func (p *Proxy) RequestMigration(fromAddr, toAddr string) bool {
+	p.mu.Lock()
+	conns := make([]*proxiedConn, 0)
+	for pc := range p.mu.conns {
+		if pc.backendAddr() == fromAddr {
+			conns = append(conns, pc)
+		}
+	}
+	p.mu.Unlock()
+	for _, pc := range conns {
+		select {
+		case pc.migrateCh <- toAddr:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+func (p *Proxy) noteMigration() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mu.migrations++
+}
+
+// RebalanceTick evens connection counts across each tenant's healthy
+// backends (§4.2.2: "proxy servers periodically re-balance connections
+// across available SQL nodes"; after a scale-up, connections migrate from
+// loaded nodes to new ones to smooth the distribution). It requests at most
+// one migration per overloaded backend per tick, and returns the number of
+// migrations requested.
+func (p *Proxy) RebalanceTick(ctx context.Context) int {
+	// Group connections by tenant.
+	p.mu.Lock()
+	byTenant := make(map[string][]*proxiedConn)
+	for pc := range p.mu.conns {
+		byTenant[pc.tenantName] = append(byTenant[pc.tenantName], pc)
+	}
+	p.mu.Unlock()
+
+	requested := 0
+	for tenant, conns := range byTenant {
+		backends, err := p.cfg.Directory.Lookup(ctx, tenant)
+		if err != nil {
+			continue
+		}
+		healthy := make([]Backend, 0, len(backends))
+		for _, b := range backends {
+			if !b.Draining {
+				healthy = append(healthy, b)
+			}
+		}
+		if len(healthy) < 2 {
+			continue
+		}
+		counts := make(map[string]int, len(healthy))
+		for _, b := range healthy {
+			counts[b.Addr] = 0
+		}
+		for _, pc := range conns {
+			if _, ok := counts[pc.backendAddr()]; ok {
+				counts[pc.backendAddr()]++
+			}
+		}
+		// Move one connection at a time from the most- to the least-loaded
+		// backend whenever they differ by more than one.
+		for {
+			var maxA, minA string
+			maxC, minC := -1, 1<<30
+			for addr, c := range counts {
+				if c > maxC {
+					maxC, maxA = c, addr
+				}
+				if c < minC {
+					minC, minA = c, addr
+				}
+			}
+			if maxC-minC <= 1 {
+				break
+			}
+			if !p.RequestMigration(maxA, minA) {
+				break
+			}
+			requested++
+			counts[maxA]--
+			counts[minA]++
+		}
+	}
+	return requested
+}

@@ -1,0 +1,323 @@
+// Package raftlite implements per-range quorum replication with epoch-style
+// leases, in the spirit of CockroachDB's use of Raft (§3.1 of the paper). A
+// Group replicates a command log across peers, commits entries once a quorum
+// of live peers has accepted them, and applies committed entries to each
+// peer's state machine. Leases gate serving: only the leaseholder may propose
+// writes or serve consistent reads, and an overloaded node that stops
+// heartbeating loses its leases — the destabilizing behavior the paper's
+// Fig 12 shows admission control preventing.
+package raftlite
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/timeutil"
+)
+
+// NodeID identifies a node hosting replicas.
+type NodeID = kvpb.NodeID
+
+// StateMachine is the replicated state a peer applies committed commands to.
+type StateMachine interface {
+	// Apply applies the command at the given log index. Apply is invoked in
+	// strictly increasing index order on each peer.
+	Apply(index uint64, cmd []byte) error
+}
+
+// LivenessFunc reports whether a node is currently live (heartbeating). The
+// KV layer wires this to its node-health tracker; an overloaded node that
+// misses heartbeats reads as dead and cannot hold leases or ack proposals.
+type LivenessFunc func(NodeID) bool
+
+// Lease grants one node the right to serve a range until expiration.
+type Lease struct {
+	Holder     NodeID
+	Expiration time.Time
+	Sequence   uint64
+}
+
+// Valid reports whether the lease is held at the given instant.
+func (l Lease) Valid(now time.Time) bool {
+	return l.Holder != 0 && now.Before(l.Expiration)
+}
+
+// Errors returned by Group methods.
+var (
+	ErrNotLeaseholder = errors.New("raftlite: not leaseholder")
+	ErrNoQuorum       = errors.New("raftlite: no quorum of live replicas")
+	ErrUnknownPeer    = errors.New("raftlite: node has no replica of this range")
+)
+
+type entry struct {
+	term uint64
+	cmd  []byte
+}
+
+type peer struct {
+	id      NodeID
+	sm      StateMachine
+	applied uint64
+}
+
+// Group is a single range's replication group.
+type Group struct {
+	rangeID  int64
+	clock    timeutil.Clock
+	live     LivenessFunc
+	leaseDur time.Duration
+
+	mu     sync.Mutex
+	term   uint64
+	log    []entry
+	commit uint64
+	peers  []*peer
+	lease  Lease
+}
+
+// Config configures a Group.
+type Config struct {
+	RangeID int64
+	Clock   timeutil.Clock
+	// Liveness reports node health; nil means all nodes are always live.
+	Liveness LivenessFunc
+	// LeaseDuration is how long a lease lasts without extension. Defaults
+	// to 9 seconds (3 missed 3s heartbeats), mirroring CRDB defaults.
+	LeaseDuration time.Duration
+}
+
+// NewGroup creates a replication group over the given nodes. Each node's
+// replica applies committed commands to the corresponding state machine.
+func NewGroup(cfg Config, nodes []NodeID, sms []StateMachine) (*Group, error) {
+	if len(nodes) == 0 || len(nodes) != len(sms) {
+		return nil, fmt.Errorf("raftlite: %d nodes with %d state machines", len(nodes), len(sms))
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = timeutil.NewRealClock()
+	}
+	if cfg.Liveness == nil {
+		cfg.Liveness = func(NodeID) bool { return true }
+	}
+	if cfg.LeaseDuration == 0 {
+		cfg.LeaseDuration = 9 * time.Second
+	}
+	g := &Group{
+		rangeID:  cfg.RangeID,
+		clock:    cfg.Clock,
+		live:     cfg.Liveness,
+		leaseDur: cfg.LeaseDuration,
+		term:     1,
+	}
+	for i, id := range nodes {
+		g.peers = append(g.peers, &peer{id: id, sm: sms[i]})
+	}
+	return g, nil
+}
+
+// RangeID returns the range this group replicates.
+func (g *Group) RangeID() int64 { return g.rangeID }
+
+// Replicas returns the node IDs holding replicas.
+func (g *Group) Replicas() []NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]NodeID, len(g.peers))
+	for i, p := range g.peers {
+		out[i] = p.id
+	}
+	return out
+}
+
+// quorum returns the number of replicas needed to commit.
+func (g *Group) quorum() int { return len(g.peers)/2 + 1 }
+
+// Lease returns the current lease (which may be expired).
+func (g *Group) Lease() Lease {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lease
+}
+
+// Leaseholder returns the node holding a valid lease, or (0, false).
+func (g *Group) Leaseholder() (NodeID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.clock.Now()
+	if g.lease.Valid(now) && g.live(g.lease.Holder) {
+		return g.lease.Holder, true
+	}
+	return 0, false
+}
+
+// AcquireLease attempts to grant the lease to node. It succeeds when the
+// current lease is invalid (expired or holder dead) or already held by node,
+// and a quorum of replicas is live. Lease acquisition is itself a replicated
+// decision in real Raft; here the quorum check models that requirement.
+func (g *Group) AcquireLease(node NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.hasPeerLocked(node) {
+		return ErrUnknownPeer
+	}
+	if !g.live(node) {
+		return fmt.Errorf("raftlite: node %d is not live", node)
+	}
+	now := g.clock.Now()
+	if g.lease.Valid(now) && g.live(g.lease.Holder) && g.lease.Holder != node {
+		return &kvpb.NotLeaseholderError{RangeID: g.rangeID, Leaseholder: g.lease.Holder}
+	}
+	if g.liveCountLocked() < g.quorum() {
+		return ErrNoQuorum
+	}
+	g.lease = Lease{
+		Holder:     node,
+		Expiration: now.Add(g.leaseDur),
+		Sequence:   g.lease.Sequence + 1,
+	}
+	return nil
+}
+
+// TransferLease moves a valid lease from its holder to another replica.
+func (g *Group) TransferLease(from, to NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.hasPeerLocked(to) {
+		return ErrUnknownPeer
+	}
+	now := g.clock.Now()
+	if !g.lease.Valid(now) || g.lease.Holder != from {
+		return ErrNotLeaseholder
+	}
+	g.lease = Lease{
+		Holder:     to,
+		Expiration: now.Add(g.leaseDur),
+		Sequence:   g.lease.Sequence + 1,
+	}
+	return nil
+}
+
+// ExtendLease renews the holder's lease (the heartbeat path). Extending a
+// lease the node does not hold is an error.
+func (g *Group) ExtendLease(node NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.clock.Now()
+	if !g.lease.Valid(now) || g.lease.Holder != node {
+		return ErrNotLeaseholder
+	}
+	g.lease.Expiration = now.Add(g.leaseDur)
+	return nil
+}
+
+// Propose replicates cmd through the group on behalf of node, which must
+// hold a valid lease. On success the command is committed and applied to
+// every live replica; dead replicas catch up when they next apply.
+func (g *Group) Propose(node NodeID, cmd []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.clock.Now()
+	if !g.lease.Valid(now) || g.lease.Holder != node {
+		holder := g.lease.Holder
+		if !g.lease.Valid(now) {
+			holder = 0
+		}
+		return &kvpb.NotLeaseholderError{RangeID: g.rangeID, Leaseholder: holder}
+	}
+	if !g.live(node) {
+		return ErrNoQuorum
+	}
+	// Count acks from live replicas (the proposer acks implicitly).
+	acks := 0
+	for _, p := range g.peers {
+		if g.live(p.id) {
+			acks++
+		}
+	}
+	if acks < g.quorum() {
+		return ErrNoQuorum
+	}
+	g.log = append(g.log, entry{term: g.term, cmd: cmd})
+	g.commit = uint64(len(g.log))
+	return g.applyCommittedLocked()
+}
+
+// applyCommittedLocked applies newly committed entries to every live peer,
+// and lets previously-dead peers catch up.
+func (g *Group) applyCommittedLocked() error {
+	var firstErr error
+	for _, p := range g.peers {
+		if !g.live(p.id) {
+			continue
+		}
+		for p.applied < g.commit {
+			e := g.log[p.applied]
+			if err := p.sm.Apply(p.applied+1, e.cmd); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			p.applied++
+		}
+	}
+	return firstErr
+}
+
+// CatchUp applies any committed entries a peer missed while dead. Call after
+// a node becomes live again.
+func (g *Group) CatchUp(node NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.peers {
+		if p.id != node {
+			continue
+		}
+		for p.applied < g.commit {
+			e := g.log[p.applied]
+			if err := p.sm.Apply(p.applied+1, e.cmd); err != nil {
+				return err
+			}
+			p.applied++
+		}
+		return nil
+	}
+	return ErrUnknownPeer
+}
+
+// AppliedIndex returns a peer's applied index (for tests and rebalancing).
+func (g *Group) AppliedIndex(node NodeID) (uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.peers {
+		if p.id == node {
+			return p.applied, nil
+		}
+	}
+	return 0, ErrUnknownPeer
+}
+
+// CommitIndex returns the group's commit index.
+func (g *Group) CommitIndex() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.commit
+}
+
+func (g *Group) hasPeerLocked(node NodeID) bool {
+	for _, p := range g.peers {
+		if p.id == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Group) liveCountLocked() int {
+	n := 0
+	for _, p := range g.peers {
+		if g.live(p.id) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,698 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	p.maybe(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// maybe consumes the token if it matches (keyword or symbol text).
+func (p *parser) maybe(text string) bool {
+	t := p.peek()
+	if (t.kind == tokKeyword || t.kind == tokSymbol) && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a token matching text or errors.
+func (p *parser) expect(text string) error {
+	if !p.maybe(text) {
+		return fmt.Errorf("sql: expected %q, found %s", text, p.peek())
+	}
+	return nil
+}
+
+// ident consumes an identifier.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("sql: expected statement, found %s", t)
+	}
+	switch t.text {
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "SELECT":
+		return p.parseSelect()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "BEGIN":
+		p.next()
+		return &BeginTxn{}, nil
+	case "COMMIT":
+		p.next()
+		return &CommitTxn{}, nil
+	case "ROLLBACK":
+		p.next()
+		return &RollbackTxn{}, nil
+	case "SET":
+		return p.parseSet()
+	case "SHOW":
+		p.next()
+		if err := p.expect("TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTables{}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %s", t)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.maybe("TABLE"):
+		return p.parseCreateTable()
+	case p.maybe("INDEX"):
+		return p.parseCreateIndex()
+	default:
+		return nil, fmt.Errorf("sql: CREATE %s not supported", p.peek())
+	}
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.maybe("PRIMARY") {
+			if err := p.expect("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+				if !p.maybe(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: col, Type: typ})
+			// Inline PRIMARY KEY on a single column.
+			if p.maybe("PRIMARY") {
+				if err := p.expect("KEY"); err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+			}
+		}
+		if !p.maybe(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(ct.Columns) == 0 {
+		return nil, fmt.Errorf("sql: table %s has no columns", name)
+	}
+	if len(ct.PrimaryKey) == 0 {
+		return nil, fmt.Errorf("sql: table %s has no primary key", name)
+	}
+	return ct, nil
+}
+
+func (p *parser) parseType() (ColumnType, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return 0, fmt.Errorf("sql: expected type, found %s", t)
+	}
+	p.pos++
+	switch t.text {
+	case "INT":
+		return TypeInt, nil
+	case "STRING":
+		return TypeString, nil
+	case "FLOAT":
+		return TypeFloat, nil
+	case "BOOL":
+		return TypeBool, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown type %s", t.text)
+	}
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Columns = append(ci.Columns, col)
+		if !p.maybe(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.maybe("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.maybe(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.maybe(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.maybe(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	p.next() // SELECT
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.maybe("DISTINCT")
+	for {
+		if p.maybe("*") {
+			sel.Exprs = append(sel.Exprs, SelectExpr{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			se := SelectExpr{Expr: e}
+			if p.maybe("AS") {
+				as, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				se.As = as
+			}
+			sel.Exprs = append(sel.Exprs, se)
+		}
+		if !p.maybe(",") {
+			break
+		}
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	if p.maybe("AS") {
+		sel.TableAs, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+	} else if p.peek().kind == tokIdent {
+		sel.TableAs, _ = p.ident()
+	}
+	if p.maybe("JOIN") {
+		jt, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinClause{Table: jt}
+		if p.maybe("AS") {
+			j.As, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		} else if p.peek().kind == tokIdent {
+			j.As, _ = p.ident()
+		}
+		if err := p.expect("ON"); err != nil {
+			return nil, err
+		}
+		j.On, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Join = j
+	}
+	if p.maybe("WHERE") {
+		sel.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.maybe("GROUP") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.maybe(",") {
+				break
+			}
+		}
+	}
+	if p.maybe("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oc := OrderClause{Expr: e}
+			if p.maybe("DESC") {
+				oc.Desc = true
+			} else {
+				p.maybe("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, oc)
+			if !p.maybe(",") {
+				break
+			}
+		}
+	}
+	if p.maybe("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number, found %s", t)
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	up := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, SetClause{Column: col, Expr: e})
+		if !p.maybe(",") {
+			break
+		}
+	}
+	if p.maybe("WHERE") {
+		up.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.maybe("WHERE") {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = where
+	}
+	return del, nil
+}
+
+func (p *parser) parseSet() (Statement, error) {
+	p.next() // SET
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &SetVar{Name: name, Value: val}, nil
+}
+
+// Expression parsing with precedence climbing:
+// OR < AND < NOT < comparison < additive < multiplicative < unary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.maybe("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.maybe("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.maybe("NOT") {
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Operand: operand}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		op := t.text
+		if op == "<>" {
+			op = "!="
+		}
+		switch op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.pos++
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.pos++
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "-" {
+		p.pos++
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Operand: operand}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, err
+			}
+			return &Literal{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Value: n}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &Literal{Value: t.text}, nil
+	case t.kind == tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: true}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: false}, nil
+		case "NULL":
+			p.pos++
+			return &Literal{Value: nil}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			fe := &FuncExpr{Name: t.text}
+			if p.maybe("*") {
+				fe.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fe.Arg = arg
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return fe, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression", t.text)
+	case t.kind == tokIdent:
+		p.pos++
+		if p.maybe(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && strings.HasPrefix(t.text, "$"):
+		p.pos++
+		idx, err := strconv.Atoi(t.text[1:])
+		if err != nil || idx < 1 {
+			return nil, fmt.Errorf("sql: bad placeholder %s", t.text)
+		}
+		return &Placeholder{Index: idx}, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+	}
+}

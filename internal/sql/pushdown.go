@@ -1,0 +1,132 @@
+package sql
+
+import (
+	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/rowfilter"
+)
+
+// Row-filter push-down (the paper's §8 future work): full-table-scan plans
+// compile the WHERE clause's eligible conjuncts — single-column comparisons
+// against constants — into a rowfilter.Filter carried in the Scan request,
+// so the KV node drops non-matching rows before they cross the process
+// boundary. The executor still re-applies the complete WHERE clause to the
+// surviving rows, so push-down is purely an optimization: disabling it (or a
+// KV node ignoring it) changes no results.
+
+// KVRowDecoder returns the row codec the KV layer uses to evaluate pushed-
+// down filters. Register it with kvserver.Cluster.SetRowDecoder.
+func KVRowDecoder() kvserver.RowDecoder {
+	return func(value []byte) (rowfilter.RowAccessor, error) {
+		row, err := decodeRowValue(value)
+		if err != nil {
+			return nil, err
+		}
+		return datumRowAccessor(row), nil
+	}
+}
+
+// datumRowAccessor adapts a decoded datum row to the filter evaluator.
+type datumRowAccessor []Datum
+
+// Column implements rowfilter.RowAccessor.
+func (r datumRowAccessor) Column(i int) (rowfilter.Value, bool) {
+	if i < 0 || i >= len(r) {
+		return rowfilter.Value{}, false
+	}
+	v, ok := datumToFilterValue(r[i])
+	if !ok {
+		return rowfilter.Value{}, false
+	}
+	return v, true
+}
+
+// datumToFilterValue converts a datum to the filter value model.
+func datumToFilterValue(d Datum) (rowfilter.Value, bool) {
+	if d.Null {
+		return rowfilter.Value{Null: true}, true
+	}
+	switch d.Kind {
+	case TypeInt:
+		return rowfilter.Value{Kind: rowfilter.KindInt, I: d.I}, true
+	case TypeFloat:
+		return rowfilter.Value{Kind: rowfilter.KindFloat, F: d.F}, true
+	case TypeString:
+		return rowfilter.Value{Kind: rowfilter.KindString, S: d.S}, true
+	case TypeBool:
+		return rowfilter.Value{Kind: rowfilter.KindBool, B: d.B}, true
+	default:
+		return rowfilter.Value{}, false
+	}
+}
+
+var pushdownOps = map[string]rowfilter.Op{
+	"=": rowfilter.OpEq, "!=": rowfilter.OpNe,
+	"<": rowfilter.OpLt, "<=": rowfilter.OpLe,
+	">": rowfilter.OpGt, ">=": rowfilter.OpGe,
+}
+
+var flippedOps = map[rowfilter.Op]rowfilter.Op{
+	rowfilter.OpEq: rowfilter.OpEq, rowfilter.OpNe: rowfilter.OpNe,
+	rowfilter.OpLt: rowfilter.OpGt, rowfilter.OpLe: rowfilter.OpGe,
+	rowfilter.OpGt: rowfilter.OpLt, rowfilter.OpGe: rowfilter.OpLe,
+}
+
+// compilePushdownFilter extracts the WHERE conjuncts expressible in the
+// restricted filter language. It returns the encoded filter, or nil when
+// nothing is eligible. Ineligible conjuncts are simply left for the SQL-side
+// filter; eligible ones are also re-checked there (fail-open contract).
+func compilePushdownFilter(desc *TableDescriptor, where Expr, args []Datum) []byte {
+	if where == nil {
+		return nil
+	}
+	var f rowfilter.Filter
+	for _, c := range conjuncts(where) {
+		b, ok := c.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		op, ok := pushdownOps[b.Op]
+		if !ok {
+			continue
+		}
+		// col OP const, or const OP col (flipped).
+		if cond, ok := compileCond(desc, b.Left, b.Right, op, args); ok {
+			f.Conds = append(f.Conds, cond)
+			continue
+		}
+		if cond, ok := compileCond(desc, b.Right, b.Left, flippedOps[op], args); ok {
+			f.Conds = append(f.Conds, cond)
+		}
+	}
+	if f.Empty() {
+		return nil
+	}
+	enc, err := f.Encode()
+	if err != nil {
+		return nil // fail open: the SQL-side filter still applies
+	}
+	return enc
+}
+
+func compileCond(desc *TableDescriptor, colSide, valSide Expr, op rowfilter.Op, args []Datum) (rowfilter.Cond, bool) {
+	ref, ok := colSide.(*ColumnRef)
+	if !ok {
+		return rowfilter.Cond{}, false
+	}
+	if ref.Table != "" && ref.Table != desc.Name {
+		return rowfilter.Cond{}, false
+	}
+	col := desc.ColumnIndex(ref.Column)
+	if col < 0 {
+		return rowfilter.Cond{}, false
+	}
+	d, ok := constantValue(valSide, args)
+	if !ok {
+		return rowfilter.Cond{}, false
+	}
+	v, ok := datumToFilterValue(d)
+	if !ok || v.Null {
+		return rowfilter.Cond{}, false
+	}
+	return rowfilter.Cond{Col: col, Op: op, Value: v}, true
+}

@@ -1,0 +1,146 @@
+package timeutil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := NewRealClock()
+	before := time.Now()
+	now := c.Now()
+	after := time.Now()
+	if now.Before(before) || now.After(after) {
+		t.Fatalf("real clock now %v outside [%v, %v]", now, before, after)
+	}
+}
+
+func TestManualClockAdvance(t *testing.T) {
+	start := time.Date(2025, 6, 22, 0, 0, 0, 0, time.UTC)
+	c := NewManualClock(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	c.Advance(5 * time.Second)
+	if got, want := c.Now(), start.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if got, want := c.Since(start), 5*time.Second; got != want {
+		t.Fatalf("Since = %v, want %v", got, want)
+	}
+}
+
+func TestManualClockAfterFiresInOrder(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewManualClock(start)
+	ch1 := c.After(1 * time.Second)
+	ch2 := c.After(2 * time.Second)
+
+	c.Advance(1 * time.Second)
+	select {
+	case <-ch1:
+	default:
+		t.Fatal("ch1 should have fired at +1s")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("ch2 fired early")
+	default:
+	}
+
+	c.Advance(1 * time.Second)
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("ch2 should have fired at +2s")
+	}
+}
+
+func TestManualClockAfterNonPositive(t *testing.T) {
+	c := NewManualClock(time.Unix(100, 0))
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	case <-time.After(time.Second):
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestManualClockSleepWakesOnAdvance(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(3 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for c.NumWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestManualClockAdvanceTo(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManualClock(start)
+	target := start.Add(time.Minute)
+	c.AdvanceTo(target)
+	if !c.Now().Equal(target) {
+		t.Fatalf("AdvanceTo: Now() = %v, want %v", c.Now(), target)
+	}
+	// Moving backwards is a no-op.
+	c.AdvanceTo(start)
+	if !c.Now().Equal(target) {
+		t.Fatalf("AdvanceTo backwards moved the clock to %v", c.Now())
+	}
+}
+
+func TestManualClockNextDeadline(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("NextDeadline should report no waiters")
+	}
+	c.After(10 * time.Second)
+	c.After(5 * time.Second)
+	dl, ok := c.NextDeadline()
+	if !ok {
+		t.Fatal("NextDeadline should report a waiter")
+	}
+	if want := time.Unix(5, 0); !dl.Equal(want) {
+		t.Fatalf("NextDeadline = %v, want %v", dl, want)
+	}
+}
+
+func TestManualClockConcurrentWaiters(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Sleep(time.Duration(i%10+1) * time.Second)
+		}(i)
+	}
+	for c.NumWaiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(10 * time.Second)
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not all sleepers woke")
+	}
+}

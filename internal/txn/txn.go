@@ -1,0 +1,246 @@
+// Package txn implements the client-side transaction coordinator over the KV
+// layer: it assigns transaction IDs and timestamps, tracks written intents,
+// resolves them at commit or abort, and drives automatic retries for
+// retriable errors (§3.1: the KV layer "supports transactions"; SQL sessions
+// run their statements through this coordinator).
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crdbserverless/internal/hlc"
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/kvserver"
+)
+
+// Sender abstracts the KV entry point (a DistSender in production wiring).
+type Sender interface {
+	Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error)
+}
+
+// nextTxnID issues process-wide unique transaction IDs.
+var nextTxnID uint64
+
+// Coordinator creates transactions for one tenant through one sender.
+type Coordinator struct {
+	sender Sender
+	clock  *hlc.Clock
+	tenant keys.TenantID
+}
+
+// NewCoordinator returns a Coordinator.
+func NewCoordinator(sender Sender, clock *hlc.Clock, tenant keys.TenantID) *Coordinator {
+	return &Coordinator{sender: sender, clock: clock, tenant: tenant}
+}
+
+// Txn is one transaction. It is not safe for concurrent use (like a SQL
+// session, it executes one statement at a time).
+type Txn struct {
+	coord *Coordinator
+	meta  kvpb.TxnMeta
+
+	mu struct {
+		sync.Mutex
+		intents  map[string]keys.Key // keys with unresolved provisional writes
+		finished bool
+		aborted  bool
+	}
+}
+
+// Begin starts a transaction at the current HLC time.
+func (c *Coordinator) Begin() *Txn {
+	t := &Txn{coord: c}
+	t.meta = kvpb.TxnMeta{
+		ID:       atomic.AddUint64(&nextTxnID, 1),
+		Ts:       c.clock.Now(),
+		Priority: kvpb.PriorityNormal,
+	}
+	t.mu.intents = make(map[string]keys.Key)
+	return t
+}
+
+// ID returns the transaction's unique ID.
+func (t *Txn) ID() uint64 { return t.meta.ID }
+
+// Ts returns the transaction's current timestamp.
+func (t *Txn) Ts() hlc.Timestamp { return t.meta.Ts }
+
+// ErrTxnFinished is returned by operations on a committed/aborted txn.
+var ErrTxnFinished = errors.New("txn: transaction already finished")
+
+// Send executes a batch inside the transaction, tracking write intents.
+func (t *Txn) Send(ctx context.Context, reqs ...kvpb.Request) (*kvpb.BatchResponse, error) {
+	t.mu.Lock()
+	if t.mu.finished {
+		t.mu.Unlock()
+		return nil, ErrTxnFinished
+	}
+	t.mu.Unlock()
+	meta := t.meta
+	ba := &kvpb.BatchRequest{
+		Tenant:   t.coord.tenant,
+		Txn:      &meta,
+		Requests: reqs,
+	}
+	resp, err := t.coord.sender.Send(ctx, ba)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	for i, r := range reqs {
+		switch r.Method {
+		case kvpb.Put, kvpb.Delete:
+			t.mu.intents[string(r.Key)] = r.Key.Clone()
+		case kvpb.DeleteRange:
+			// The response reports which keys the range delete tombstoned.
+			if i < len(resp.Responses) {
+				for _, kv := range resp.Responses[i].Rows {
+					t.mu.intents[string(kv.Key)] = kv.Key.Clone()
+				}
+			}
+		}
+	}
+	t.mu.Unlock()
+	return resp, nil
+}
+
+// Get reads a key within the transaction.
+func (t *Txn) Get(ctx context.Context, key keys.Key) ([]byte, bool, error) {
+	resp, err := t.Send(ctx, kvpb.Request{Method: kvpb.Get, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Responses[0].Value, resp.Responses[0].Exists, nil
+}
+
+// Put writes a key within the transaction.
+func (t *Txn) Put(ctx context.Context, key keys.Key, value []byte) error {
+	_, err := t.Send(ctx, kvpb.Request{Method: kvpb.Put, Key: key, Value: value})
+	return err
+}
+
+// Delete removes a key within the transaction.
+func (t *Txn) Delete(ctx context.Context, key keys.Key) error {
+	_, err := t.Send(ctx, kvpb.Request{Method: kvpb.Delete, Key: key})
+	return err
+}
+
+// Scan reads a span within the transaction.
+func (t *Txn) Scan(ctx context.Context, span keys.Span, maxKeys int64) ([]kvpb.KeyValue, error) {
+	resp, err := t.Send(ctx, kvpb.Request{
+		Method: kvpb.Scan, Key: span.Key, EndKey: span.EndKey, MaxKeys: maxKeys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Responses[0].Rows, nil
+}
+
+// Commit resolves all intents as committed at the transaction timestamp.
+func (t *Txn) Commit(ctx context.Context) error {
+	return t.finish(ctx, true)
+}
+
+// Abort rolls the transaction back, removing its intents.
+func (t *Txn) Abort(ctx context.Context) error {
+	return t.finish(ctx, false)
+}
+
+func (t *Txn) finish(ctx context.Context, commit bool) error {
+	t.mu.Lock()
+	if t.mu.finished {
+		aborted := t.mu.aborted
+		t.mu.Unlock()
+		if commit && aborted {
+			return &kvpb.TransactionAbortedError{TxnID: t.meta.ID}
+		}
+		return nil
+	}
+	t.mu.finished = true
+	t.mu.aborted = !commit
+	intents := make([]keys.Key, 0, len(t.mu.intents))
+	for _, k := range t.mu.intents {
+		intents = append(intents, k)
+	}
+	t.mu.Unlock()
+
+	if len(intents) == 0 {
+		return nil
+	}
+	reqs := make([]kvpb.Request, 0, len(intents))
+	for _, k := range intents {
+		reqs = append(reqs, kvpb.Request{
+			Method:        kvpb.ResolveIntent,
+			Key:           k,
+			ResolveTxnID:  t.meta.ID,
+			ResolveCommit: commit,
+			ResolveTs:     t.meta.Ts,
+		})
+	}
+	// Resolution is non-transactional and idempotent; retry on routing
+	// errors until it lands.
+	ba := &kvpb.BatchRequest{Tenant: t.coord.tenant, Timestamp: t.meta.Ts, Requests: reqs}
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		if _, lastErr = t.coord.sender.Send(ctx, ba); lastErr == nil {
+			return nil
+		}
+		if !kvpb.IsRetriable(lastErr) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("txn: resolving %d intents: %w", len(intents), lastErr)
+}
+
+// RunTxn executes fn inside a transaction, retrying it from scratch on
+// retriable errors (write conflicts, redirects). fn must be idempotent up to
+// its writes: each retry begins a fresh transaction.
+func (c *Coordinator) RunTxn(ctx context.Context, fn func(*Txn) error) error {
+	const maxAttempts = 256
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		t := c.Begin()
+		err := fn(t)
+		if err == nil {
+			err = t.Commit(ctx)
+		}
+		if err == nil {
+			return nil
+		}
+		_ = t.Abort(ctx)
+		if !kvpb.IsRetriable(err) {
+			return err
+		}
+		lastErr = err
+		// Advance our clock reading past the conflict so the next attempt
+		// starts above it.
+		var wto *kvpb.WriteTooOldError
+		if errors.As(err, &wto) {
+			c.clock.Update(wto.ActualTs)
+		}
+		// Jittered exponential backoff desynchronizes contending
+		// transactions; without it, symmetric read-modify-write loops can
+		// livelock, repeatedly colliding on each other's intents and
+		// timestamp-cache windows.
+		shift := attempt
+		if shift > 4 {
+			shift = 4
+		}
+		backoff := (100 * time.Microsecond) << uint(shift)
+		backoff += time.Duration(t.meta.ID%13) * 37 * time.Microsecond
+		time.Sleep(backoff)
+	}
+	return fmt.Errorf("txn: retry budget exhausted: %w", lastErr)
+}
+
+// NewCoordinatorForDistSender is a convenience constructor wiring a
+// DistSender directly.
+func NewCoordinatorForDistSender(ds *kvserver.DistSender, cl *kvserver.Cluster) *Coordinator {
+	return NewCoordinator(ds, cl.Clock(), ds.Identity().Tenant)
+}

@@ -1,0 +1,224 @@
+// Package wire implements the client/server protocol spoken between SQL
+// clients, the routing proxy, and SQL nodes. It is a compact analogue of the
+// PostgreSQL wire protocol (§4.2.2): a startup message carries routing
+// parameters (tenant, user, password) so the proxy can identify the tenant
+// before any query flows, and dedicated control messages support the session
+// serialization handshake used by connection migration (§4.2.4).
+//
+// Framing: 1 type byte, 4-byte big-endian payload length, gob payload.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+
+	"crdbserverless/internal/sql"
+)
+
+// Message type bytes.
+const (
+	// MsgStartup opens a connection: params include tenant, user, password.
+	MsgStartup = byte('S')
+	// MsgAuth answers a startup or restore attempt.
+	MsgAuth = byte('R')
+	// MsgQuery carries one SQL statement with arguments.
+	MsgQuery = byte('Q')
+	// MsgResult carries a statement's result (or error).
+	MsgResult = byte('D')
+	// MsgTerminate closes the connection gracefully.
+	MsgTerminate = byte('X')
+	// MsgSerialize asks a SQL node to serialize an idle session (proxy to
+	// node, during migration).
+	MsgSerialize = byte('M')
+	// MsgSerialized returns the serialized session blob.
+	MsgSerialized = byte('m')
+	// MsgRestore opens a connection resuming a serialized session.
+	MsgRestore = byte('r')
+)
+
+// maxFrame bounds a frame payload (16 MiB).
+const maxFrame = 16 << 20
+
+// Startup is the first message on a client connection.
+type Startup struct {
+	// Params carries routing and authentication data. Recognized keys:
+	// "tenant" (cluster name), "user", "password", "database".
+	Params map[string]string
+}
+
+// Auth is the server's response to Startup or Restore.
+type Auth struct {
+	OK  bool
+	Msg string
+}
+
+// Query is one SQL statement with bound arguments.
+type Query struct {
+	SQL  string
+	Args []sql.Datum
+}
+
+// Result is a statement outcome.
+type Result struct {
+	Columns      []string
+	Rows         [][]sql.Datum
+	RowsAffected int
+	Err          string
+}
+
+// Serialize asks the node to capture the connection's session.
+type Serialize struct{}
+
+// Serialized carries the captured session.
+type Serialized struct {
+	Data []byte
+	Err  string
+}
+
+// Restore resumes a migrated session on a new node.
+type Restore struct {
+	Data []byte
+}
+
+// Terminate closes the connection.
+type Terminate struct{}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, typ byte, payload interface{}) error {
+	var body frameBuffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return fmt.Errorf("wire: encoding %c: %w", typ, err)
+	}
+	if len(body.b) > maxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(body.b))
+	}
+	hdr := make([]byte, 5)
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body.b)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body.b)
+	return err
+}
+
+// ReadMessage reads one frame, returning its type and raw payload.
+func ReadMessage(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Decode unmarshals a payload into out.
+func Decode(payload []byte, out interface{}) error {
+	return gob.NewDecoder(&sliceReader{b: payload}).Decode(out)
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}
+
+// Client is a SQL client connection.
+type Client struct {
+	conn net.Conn
+}
+
+// Connect dials addr and performs the startup handshake.
+func Connect(addr string, params map[string]string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ConnectOn(conn, params)
+}
+
+// ConnectOn performs the startup handshake on an existing connection.
+func ConnectOn(conn net.Conn, params map[string]string) (*Client, error) {
+	if err := WriteMessage(conn, MsgStartup, &Startup{Params: params}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if typ != MsgAuth {
+		conn.Close()
+		return nil, fmt.Errorf("wire: expected auth response, got %c", typ)
+	}
+	var auth Auth
+	if err := Decode(payload, &auth); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if !auth.OK {
+		conn.Close()
+		return nil, &AuthError{Msg: auth.Msg}
+	}
+	return &Client{conn: conn}, nil
+}
+
+// AuthError reports a rejected startup.
+type AuthError struct{ Msg string }
+
+// Error implements error.
+func (e *AuthError) Error() string { return "wire: authentication failed: " + e.Msg }
+
+// Query runs one statement and returns its result.
+func (c *Client) Query(sqlText string, args ...sql.Datum) (*Result, error) {
+	if err := WriteMessage(c.conn, MsgQuery, &Query{SQL: sqlText, Args: args}); err != nil {
+		return nil, err
+	}
+	typ, payload, err := ReadMessage(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgResult {
+		return nil, fmt.Errorf("wire: expected result, got %c", typ)
+	}
+	var res Result
+	if err := Decode(payload, &res); err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		return &res, fmt.Errorf("wire: %s", res.Err)
+	}
+	return &res, nil
+}
+
+// Close terminates the connection gracefully.
+func (c *Client) Close() error {
+	_ = WriteMessage(c.conn, MsgTerminate, &Terminate{})
+	return c.conn.Close()
+}

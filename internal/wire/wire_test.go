@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"crdbserverless/internal/sql"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Query{SQL: "SELECT 1", Args: []sql.Datum{sql.DInt(42), sql.DString("x")}}
+	if err := WriteMessage(&buf, MsgQuery, in); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgQuery {
+		t.Fatalf("type = %c", typ)
+	}
+	var out Query
+	if err := Decode(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SQL != in.SQL || len(out.Args) != 2 || out.Args[0].I != 42 || out.Args[1].S != "x" {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestFrameMultipleMessages(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMessage(&buf, MsgStartup, &Startup{Params: map[string]string{"tenant": "acme"}})
+	WriteMessage(&buf, MsgTerminate, &Terminate{})
+	typ, payload, err := ReadMessage(&buf)
+	if err != nil || typ != MsgStartup {
+		t.Fatalf("first = %c, %v", typ, err)
+	}
+	var s Startup
+	if err := Decode(payload, &s); err != nil || s.Params["tenant"] != "acme" {
+		t.Fatalf("startup = %+v, %v", s, err)
+	}
+	typ, _, err = ReadMessage(&buf)
+	if err != nil || typ != MsgTerminate {
+		t.Fatalf("second = %c, %v", typ, err)
+	}
+	if _, _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("empty read = %v", err)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMessage(&buf, MsgQuery, &Query{SQL: "SELECT 1"})
+	raw := buf.Bytes()
+	if _, _, err := ReadMessage(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, err := ReadMessage(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadMessageOversizeRejected(t *testing.T) {
+	hdr := []byte{MsgQuery, 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// echoServer answers startup with auth-ok (or failure for a bad password)
+// and echoes queries back as single-cell results.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				typ, payload, err := ReadMessage(conn)
+				if err != nil || typ != MsgStartup {
+					return
+				}
+				var s Startup
+				if err := Decode(payload, &s); err != nil {
+					return
+				}
+				if s.Params["password"] == "wrong" {
+					WriteMessage(conn, MsgAuth, &Auth{OK: false, Msg: "bad password"})
+					return
+				}
+				WriteMessage(conn, MsgAuth, &Auth{OK: true})
+				for {
+					typ, payload, err := ReadMessage(conn)
+					if err != nil || typ == MsgTerminate {
+						return
+					}
+					if typ != MsgQuery {
+						continue
+					}
+					var q Query
+					if err := Decode(payload, &q); err != nil {
+						return
+					}
+					WriteMessage(conn, MsgResult, &Result{
+						Columns: []string{"echo"},
+						Rows:    [][]sql.Datum{{sql.DString(q.SQL)}},
+					})
+				}
+			}(conn)
+		}
+	}()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+
+	c, err := Connect(ln.Addr().String(), map[string]string{"tenant": "acme", "user": "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "SELECT 1" {
+		t.Fatalf("echo = %+v", res)
+	}
+}
+
+func TestClientAuthFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+
+	_, err = Connect(ln.Addr().String(), map[string]string{"password": "wrong"})
+	if err == nil {
+		t.Fatal("bad password accepted")
+	}
+	if _, ok := err.(*AuthError); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+func TestConnectRefused(t *testing.T) {
+	// A port with nothing listening.
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Connect(addr, nil); err == nil {
+		t.Fatal("connect to closed port succeeded")
+	}
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"crdbserverless/internal/randutil"
+	"crdbserverless/internal/sql"
+)
+
+// TPCC is a scaled-down TPC-C: warehouses, districts, customers, items,
+// stock, orders, and order lines, with the new-order/payment/order-status
+// transaction mix. The stock configuration carries think time and ten
+// workers per warehouse; the "no wait" configuration used by the noisy
+// tenants of §6.6 runs transactions in a tight loop.
+type TPCC struct {
+	Warehouses           int
+	DistrictsPerWH       int
+	CustomersPerDistrict int
+	Items                int
+	// PinnedWarehouse, when nonzero, makes every transaction target that
+	// warehouse — noisy-neighbor workers each pin a distinct warehouse so
+	// they run "with no contention" (§6.6).
+	PinnedWarehouse int
+
+	rng     *rand.Rand
+	orderID int64
+}
+
+// NewTPCC returns a generator with lite-scale defaults.
+func NewTPCC(warehouses int, seed int64) *TPCC {
+	if warehouses <= 0 {
+		warehouses = 1
+	}
+	return &TPCC{
+		Warehouses:           warehouses,
+		DistrictsPerWH:       2,
+		CustomersPerDistrict: 5,
+		Items:                50,
+		rng:                  randutil.NewRand(seed),
+	}
+}
+
+// Setup creates and loads the schema.
+func (w *TPCC) Setup(ctx context.Context, db DB) error {
+	ddl := []string{
+		"CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name STRING, w_ytd FLOAT)",
+		"CREATE TABLE district (d_w_id INT, d_id INT, d_next_o_id INT, d_ytd FLOAT, PRIMARY KEY (d_w_id, d_id))",
+		"CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_name STRING, c_balance FLOAT, PRIMARY KEY (c_w_id, c_d_id, c_id))",
+		"CREATE TABLE item (i_id INT PRIMARY KEY, i_name STRING, i_price FLOAT)",
+		"CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, PRIMARY KEY (s_w_id, s_i_id))",
+		"CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, o_ol_cnt INT, PRIMARY KEY (o_w_id, o_d_id, o_id))",
+		"CREATE TABLE order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT, ol_i_id INT, ol_amount FLOAT, PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+	}
+	for _, q := range ddl {
+		if _, err := exec(ctx, db, q); err != nil {
+			return err
+		}
+	}
+	for wh := 1; wh <= w.Warehouses; wh++ {
+		if _, err := exec(ctx, db, "INSERT INTO warehouse VALUES ($1, $2, 0.0)",
+			sql.DInt(int64(wh)), sql.DString(fmt.Sprintf("wh-%d", wh))); err != nil {
+			return err
+		}
+		for d := 1; d <= w.DistrictsPerWH; d++ {
+			if _, err := exec(ctx, db, "INSERT INTO district VALUES ($1, $2, 1, 0.0)",
+				sql.DInt(int64(wh)), sql.DInt(int64(d))); err != nil {
+				return err
+			}
+			for c := 1; c <= w.CustomersPerDistrict; c++ {
+				if _, err := exec(ctx, db, "INSERT INTO customer VALUES ($1, $2, $3, $4, 0.0)",
+					sql.DInt(int64(wh)), sql.DInt(int64(d)), sql.DInt(int64(c)),
+					sql.DString(randString(w.rng, 8))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := 1; i <= w.Items; i++ {
+		if _, err := exec(ctx, db, "INSERT INTO item VALUES ($1, $2, $3)",
+			sql.DInt(int64(i)), sql.DString(randString(w.rng, 6)),
+			sql.DFloat(1+w.rng.Float64()*99)); err != nil {
+			return err
+		}
+		for wh := 1; wh <= w.Warehouses; wh++ {
+			if _, err := exec(ctx, db, "INSERT INTO stock VALUES ($1, $2, 100)",
+				sql.DInt(int64(wh)), sql.DInt(int64(i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pickWarehouse honors PinnedWarehouse.
+func (w *TPCC) pickWarehouse() int64 {
+	if w.PinnedWarehouse > 0 {
+		return int64(w.PinnedWarehouse)
+	}
+	return int64(w.rng.Intn(w.Warehouses) + 1)
+}
+
+// NewOrder runs one new-order transaction: read customer and district,
+// insert the order and its lines, update stock.
+func (w *TPCC) NewOrder(ctx context.Context, db DB) error {
+	wh := w.pickWarehouse()
+	d := int64(w.rng.Intn(w.DistrictsPerWH) + 1)
+	c := int64(w.rng.Intn(w.CustomersPerDistrict) + 1)
+	nLines := 2 + w.rng.Intn(3)
+
+	if _, err := exec(ctx, db, "BEGIN"); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_, _ = db.Execute(ctx, "ROLLBACK")
+		return err
+	}
+	if _, err := exec(ctx, db, "SELECT c_balance FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3",
+		sql.DInt(wh), sql.DInt(d), sql.DInt(c)); err != nil {
+		return abort(err)
+	}
+	res, err := exec(ctx, db, "SELECT d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2",
+		sql.DInt(wh), sql.DInt(d))
+	if err != nil {
+		return abort(err)
+	}
+	if len(res.Rows) == 0 {
+		return abort(fmt.Errorf("workload: district (%d,%d) missing", wh, d))
+	}
+	w.orderID++
+	oid := w.orderID
+	if _, err := exec(ctx, db, "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = $1 AND d_id = $2",
+		sql.DInt(wh), sql.DInt(d)); err != nil {
+		return abort(err)
+	}
+	if _, err := exec(ctx, db, "INSERT INTO orders VALUES ($1, $2, $3, $4, $5)",
+		sql.DInt(wh), sql.DInt(d), sql.DInt(oid), sql.DInt(c), sql.DInt(int64(nLines))); err != nil {
+		return abort(err)
+	}
+	for ln := 1; ln <= nLines; ln++ {
+		item := int64(w.rng.Intn(w.Items) + 1)
+		if _, err := exec(ctx, db, "SELECT i_price FROM item WHERE i_id = $1", sql.DInt(item)); err != nil {
+			return abort(err)
+		}
+		if _, err := exec(ctx, db, "UPDATE stock SET s_quantity = s_quantity - 1 WHERE s_w_id = $1 AND s_i_id = $2",
+			sql.DInt(wh), sql.DInt(item)); err != nil {
+			return abort(err)
+		}
+		if _, err := exec(ctx, db, "INSERT INTO order_line VALUES ($1, $2, $3, $4, $5, $6)",
+			sql.DInt(wh), sql.DInt(d), sql.DInt(oid), sql.DInt(int64(ln)),
+			sql.DInt(item), sql.DFloat(w.rng.Float64()*100)); err != nil {
+			return abort(err)
+		}
+	}
+	_, err = exec(ctx, db, "COMMIT")
+	return err
+}
+
+// Payment runs one payment transaction.
+func (w *TPCC) Payment(ctx context.Context, db DB) error {
+	wh := w.pickWarehouse()
+	d := int64(w.rng.Intn(w.DistrictsPerWH) + 1)
+	c := int64(w.rng.Intn(w.CustomersPerDistrict) + 1)
+	amount := w.rng.Float64() * 500
+
+	if _, err := exec(ctx, db, "BEGIN"); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_, _ = db.Execute(ctx, "ROLLBACK")
+		return err
+	}
+	if _, err := exec(ctx, db, "UPDATE warehouse SET w_ytd = w_ytd + $1 WHERE w_id = $2",
+		sql.DFloat(amount), sql.DInt(wh)); err != nil {
+		return abort(err)
+	}
+	if _, err := exec(ctx, db, "UPDATE district SET d_ytd = d_ytd + $1 WHERE d_w_id = $2 AND d_id = $3",
+		sql.DFloat(amount), sql.DInt(wh), sql.DInt(d)); err != nil {
+		return abort(err)
+	}
+	if _, err := exec(ctx, db, "UPDATE customer SET c_balance = c_balance - $1 WHERE c_w_id = $2 AND c_d_id = $3 AND c_id = $4",
+		sql.DFloat(amount), sql.DInt(wh), sql.DInt(d), sql.DInt(c)); err != nil {
+		return abort(err)
+	}
+	_, err := exec(ctx, db, "COMMIT")
+	return err
+}
+
+// OrderStatus reads a customer's most recent order.
+func (w *TPCC) OrderStatus(ctx context.Context, db DB) error {
+	wh := w.pickWarehouse()
+	d := int64(w.rng.Intn(w.DistrictsPerWH) + 1)
+	c := int64(w.rng.Intn(w.CustomersPerDistrict) + 1)
+	if _, err := exec(ctx, db, "SELECT c_balance, c_name FROM customer WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3",
+		sql.DInt(wh), sql.DInt(d), sql.DInt(c)); err != nil {
+		return err
+	}
+	_, err := exec(ctx, db,
+		"SELECT o_id, o_ol_cnt FROM orders WHERE o_w_id = $1 AND o_d_id = $2 ORDER BY o_id DESC LIMIT 1",
+		sql.DInt(wh), sql.DInt(d))
+	return err
+}
+
+// RunMix executes one transaction drawn from the standard-ish mix
+// (45% new-order, 43% payment, 12% order-status).
+func (w *TPCC) RunMix(ctx context.Context, db DB) error {
+	switch randutil.WeightedChoice(w.rng, []float64{45, 43, 12}) {
+	case 0:
+		return w.NewOrder(ctx, db)
+	case 1:
+		return w.Payment(ctx, db)
+	default:
+		return w.OrderStatus(ctx, db)
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"crdbserverless/internal/randutil"
+	"crdbserverless/internal/sql"
+)
+
+// TPCH holds the analytical tables the §6.1.2 evaluation uses: a lineitem
+// fact table (for Q1's full-scan aggregation) and a part dimension with a
+// secondary index on lineitem.partkey (for Q9's index-join plan shape).
+type TPCH struct {
+	Rows  int // lineitem rows
+	Parts int
+	rng   *rand.Rand
+}
+
+// NewTPCH returns a generator producing Rows lineitem rows.
+func NewTPCH(rows int, seed int64) *TPCH {
+	if rows <= 0 {
+		rows = 1000
+	}
+	parts := rows / 10
+	if parts < 4 {
+		parts = 4
+	}
+	return &TPCH{Rows: rows, Parts: parts, rng: randutil.NewRand(seed)}
+}
+
+// Setup creates and loads the schema.
+func (h *TPCH) Setup(ctx context.Context, db DB) error {
+	ddl := []string{
+		"CREATE TABLE part (p_key INT PRIMARY KEY, p_name STRING, p_mfgr INT)",
+		"CREATE TABLE lineitem (l_key INT PRIMARY KEY, l_partkey INT, l_quantity INT, l_price FLOAT, l_returnflag STRING, l_shipdate INT)",
+	}
+	for _, q := range ddl {
+		if _, err := exec(ctx, db, q); err != nil {
+			return err
+		}
+	}
+	for p := 1; p <= h.Parts; p++ {
+		if _, err := exec(ctx, db, "INSERT INTO part VALUES ($1, $2, $3)",
+			sql.DInt(int64(p)), sql.DString(randString(h.rng, 8)), sql.DInt(int64(p%5))); err != nil {
+			return err
+		}
+	}
+	flags := []string{"A", "N", "R"}
+	for i := 1; i <= h.Rows; i++ {
+		if _, err := exec(ctx, db, "INSERT INTO lineitem VALUES ($1, $2, $3, $4, $5, $6)",
+			sql.DInt(int64(i)),
+			sql.DInt(int64(h.rng.Intn(h.Parts)+1)),
+			sql.DInt(int64(1+h.rng.Intn(50))),
+			sql.DFloat(h.rng.Float64()*1000),
+			sql.DString(flags[h.rng.Intn(len(flags))]),
+			sql.DInt(int64(h.rng.Intn(2500)))); err != nil {
+			return err
+		}
+	}
+	// The secondary index Q9's plan uses for its lookups.
+	_, err := exec(ctx, db, "CREATE INDEX lineitem_partkey ON lineitem (l_partkey)")
+	return err
+}
+
+// Q1 is the TPC-H Q1 analogue: a full table scan with grouping and
+// aggregation — the query whose rows must all be marshaled across the
+// process boundary in a Serverless deployment (§6.1.2: 2.3x CPU).
+func (h *TPCH) Q1(ctx context.Context, db DB) (*sql.Result, error) {
+	return exec(ctx, db,
+		"SELECT l_returnflag, SUM(l_quantity) AS sum_qty, SUM(l_price) AS sum_price, "+
+			"AVG(l_quantity) AS avg_qty, COUNT(*) AS count_order "+
+			"FROM lineitem WHERE l_shipdate <= 2400 GROUP BY l_returnflag ORDER BY l_returnflag")
+}
+
+// Q9 is the TPC-H Q9 analogue: a join driven by secondary-index lookups
+// before an aggregation — the plan shape where Serverless and traditional
+// deployments have similar efficiency (§6.1.2).
+func (h *TPCH) Q9(ctx context.Context, db DB) (*sql.Result, error) {
+	part := int64(h.rng.Intn(h.Parts) + 1)
+	return exec(ctx, db,
+		fmt.Sprintf("SELECT p.p_mfgr, SUM(l.l_price * l.l_quantity) AS profit "+
+			"FROM lineitem AS l JOIN part AS p ON l.l_partkey = p.p_key "+
+			"WHERE l.l_partkey = %d GROUP BY p.p_mfgr", part))
+}

@@ -1,0 +1,39 @@
+// Package workload implements the benchmark workloads the paper evaluates
+// with (§6): a scaled-down TPC-C (the OLTP workload of Fig 6, Table 1, and
+// the noisy-neighbor experiments), TPC-H Q1/Q9 analogues (the OLAP queries
+// of §6.1.2), YCSB A-F, a raw KV workload, and a bulk import — the held-out
+// workloads of the Fig 11 model-accuracy evaluation.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"crdbserverless/internal/sql"
+)
+
+// DB abstracts a SQL session (sql.Session implements it; the bench harness
+// also adapts wire clients).
+type DB interface {
+	Execute(ctx context.Context, sqlText string, args ...sql.Datum) (*sql.Result, error)
+}
+
+// exec runs a statement and fails loudly on error.
+func exec(ctx context.Context, db DB, q string, args ...sql.Datum) (*sql.Result, error) {
+	res, err := db.Execute(ctx, q, args...)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %q: %w", q, err)
+	}
+	return res, nil
+}
+
+// randString returns an n-char pseudo-random string.
+func randString(rng *rand.Rand, n int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}

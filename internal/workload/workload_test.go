@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/sql"
+	"crdbserverless/internal/txn"
+)
+
+func newSession(t *testing.T) *sql.Session {
+	t.Helper()
+	cheap := kvserver.CostConfig{ReadBatchOverhead: time.Nanosecond, WriteBatchOverhead: time.Nanosecond}
+	var nodes []*kvserver.Node
+	for i := 1; i <= 3; i++ {
+		nodes = append(nodes, kvserver.NewNode(kvserver.NodeConfig{
+			ID: kvserver.NodeID(i), VCPUs: 2, Cost: cheap,
+		}))
+	}
+	c, err := kvserver.NewCluster(kvserver.ClusterConfig{}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ds := kvserver.NewDistSender(c, kvserver.Identity{Tenant: 2})
+	coord := txn.NewCoordinator(ds, c.Clock(), 2)
+	catalog := sql.NewCatalog(coord, 2)
+	exec := sql.NewExecutor(catalog, coord, sql.ExecutorConfig{})
+	return sql.NewSession(exec, "bench")
+}
+
+func TestTPCCSetupAndMix(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+	w := NewTPCC(2, 1)
+	if err := w.Setup(ctx, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.RunMix(ctx, s); err != nil {
+			t.Fatalf("mix iteration %d: %v", i, err)
+		}
+	}
+	// Orders were created and are readable.
+	res, err := s.Execute(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I == 0 {
+		t.Fatal("no orders created")
+	}
+	// Order lines reference orders consistently.
+	res, err = s.Execute(ctx, "SELECT COUNT(*) FROM order_line")
+	if err != nil || res.Rows[0][0].I == 0 {
+		t.Fatalf("order lines = %+v, %v", res, err)
+	}
+}
+
+func TestTPCCNewOrderAtomicity(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+	w := NewTPCC(1, 2)
+	if err := w.Setup(ctx, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.NewOrder(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each order's ol_cnt matches its actual line count.
+	orders, err := s.Execute(ctx, "SELECT o_id, o_ol_cnt FROM orders ORDER BY o_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range orders.Rows {
+		lines, err := s.Execute(ctx,
+			"SELECT COUNT(*) FROM order_line WHERE ol_o_id = $1", sql.DInt(row[0].I))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines.Rows[0][0].I != row[1].I {
+			t.Fatalf("order %d: %d lines, expected %d", row[0].I, lines.Rows[0][0].I, row[1].I)
+		}
+	}
+}
+
+func TestTPCHQueries(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+	h := NewTPCH(200, 3)
+	if err := h.Setup(ctx, s); err != nil {
+		t.Fatal(err)
+	}
+	q1, err := h.Q1(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 groups by returnflag: at most 3 groups, each with aggregates.
+	if len(q1.Rows) == 0 || len(q1.Rows) > 3 {
+		t.Fatalf("q1 groups = %d", len(q1.Rows))
+	}
+	var total int64
+	for _, r := range q1.Rows {
+		total += r[4].I // count_order
+	}
+	if total == 0 || total > 200 {
+		t.Fatalf("q1 total count = %d", total)
+	}
+	q9, err := h.Q9(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q9.Columns) != 2 {
+		t.Fatalf("q9 columns = %v", q9.Columns)
+	}
+}
+
+func TestYCSBWorkloads(t *testing.T) {
+	for _, letter := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
+		letter := letter
+		t.Run(string(letter), func(t *testing.T) {
+			s := newSession(t)
+			ctx := context.Background()
+			y := NewYCSB(50, letter, int64(letter))
+			if err := y.Setup(ctx, s); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 30; i++ {
+				if err := y.Run(ctx, s); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+		})
+	}
+	// Unknown letter errors.
+	s := newSession(t)
+	y := NewYCSB(10, 'Z', 1)
+	y.Setup(context.Background(), s)
+	if err := y.Run(context.Background(), s); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestKVWorkload(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+	kv := NewKV(20, 0.5, 16, 7)
+	if err := kv.Setup(ctx, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := kv.Run(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestImportWorkload(t *testing.T) {
+	s := newSession(t)
+	ctx := context.Background()
+	im := NewImport(95, 5)
+	if err := im.Run(ctx, s); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute(ctx, "SELECT COUNT(*) FROM imported")
+	if err != nil || res.Rows[0][0].I != 95 {
+		t.Fatalf("imported = %+v, %v", res, err)
+	}
+}
