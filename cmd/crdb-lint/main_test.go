@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"crdbserverless/internal/lint"
+)
+
+// wantRE matches golden-corpus markers. `// want check1 check2` expects those
+// checks to fire on the marker's own line; `// want-next ...` expects them on
+// the following line (used where a trailing comment would change the
+// semantics of the line under test, e.g. inside a //lint:allow reason).
+var wantRE = regexp.MustCompile(`// want(-next)? ([a-z ]+)$`)
+
+// TestCorpus runs the full linter over the golden corpus and requires the
+// diagnostics to match the `// want` markers exactly, in both directions:
+// every marker must fire and nothing unmarked may fire.
+func TestCorpus(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+
+	want := map[string]bool{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			lineNo := i + 1
+			if m[1] == "-next" {
+				lineNo++
+			}
+			for _, check := range strings.Fields(m[2]) {
+				want[fmt.Sprintf("%s:%d:%s", rel, lineNo, check)] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning corpus markers: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("corpus has no // want markers; is testdata/src populated?")
+	}
+
+	diags, err := lint.Run(root)
+	if err != nil {
+		t.Fatalf("lint.Run(%s): %v", root, err)
+	}
+	got := map[string]bool{}
+	gotDetail := map[string]string{}
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		key := fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), d.Pos.Line, d.Check)
+		got[key] = true
+		gotDetail[key] = d.Message
+	}
+
+	var missing, unexpected []string
+	for k := range want {
+		if !got[k] {
+			missing = append(missing, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			unexpected = append(unexpected, fmt.Sprintf("%s (%s)", k, gotDetail[k]))
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unexpected)
+	for _, k := range missing {
+		t.Errorf("marker did not fire: %s", k)
+	}
+	for _, k := range unexpected {
+		t.Errorf("unmarked diagnostic: %s", k)
+	}
+}
+
+// TestRepoTreeClean requires the live repository tree to be violation-free:
+// every real finding has been migrated or carries a justified //lint:allow.
+func TestRepoTreeClean(t *testing.T) {
+	diags, err := lint.Run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("lint.Run(repo root): %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("live tree violation: %s", d)
+	}
+}

@@ -1,0 +1,12 @@
+// Malformed //lint:allow directives are themselves violations, and a broken
+// directive must not suppress the finding it sits on.
+package directive
+
+import "time"
+
+func misdirected() time.Duration {
+	start := time.Now() //lint:allow nosuchcheck typo in the check name // want lintdirective directtime
+	// want-next lintdirective
+	//lint:allow directtime
+	return time.Since(start) // want directtime
+}

@@ -1,0 +1,28 @@
+// Positive cases for the directtime check: every direct wall-clock call in
+// component code must be flagged, including through an import alias.
+package directtime
+
+import (
+	"time"
+
+	clk "time"
+)
+
+func wallClockEverywhere() time.Duration {
+	start := time.Now()             // want directtime
+	time.Sleep(time.Millisecond)    // want directtime
+	<-time.After(time.Millisecond)  // want directtime
+	t := time.NewTimer(time.Second) // want directtime
+	tk := time.NewTicker(time.Hour) // want directtime
+	_ = time.Tick(time.Second)      // want directtime
+	time.AfterFunc(0, func() {})    // want directtime
+	_ = time.Until(start)           // want directtime
+	_ = clk.Now()                   // want directtime
+	t.Stop()
+	tk.Stop()
+	return time.Since(start) // want directtime
+}
+
+func afterOnItsOwnLine() {
+	<-time.After(time.Millisecond) // want directtime
+}

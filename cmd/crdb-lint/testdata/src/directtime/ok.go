@@ -1,0 +1,31 @@
+// Negative cases for directtime: clock-threaded code, pure duration and
+// time.Time arithmetic, and a justified //lint:allow escape hatch.
+package directtime
+
+import "time"
+
+// Clock mirrors timeutil.Clock.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	Sleep(d time.Duration)
+}
+
+func threaded(c Clock) time.Duration {
+	start := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	deadline := start.Add(time.Second)
+	if c.Now().Before(deadline) {
+		return c.Since(start)
+	}
+	return 0
+}
+
+func justified() time.Time {
+	return time.Now() //lint:allow directtime this corpus case exercises the escape hatch
+}
+
+func justifiedLineAbove() time.Time {
+	//lint:allow directtime the directive also covers the next line
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Test files may use real timeouts for hang protection.
+package directtime
+
+import "time"
+
+func testOnlyHelper() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

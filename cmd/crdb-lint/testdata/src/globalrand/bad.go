@@ -1,0 +1,23 @@
+// Positive cases for the globalrand check: global draws, unsanctioned RNG
+// construction, and clock-seeded sources.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() {
+	_ = rand.Intn(10)                  // want globalrand
+	_ = rand.Float64()                 // want globalrand
+	rand.Shuffle(3, func(i, j int) {}) // want globalrand
+	rand.Seed(42)                      // want globalrand
+}
+
+func constructionOutsideRandutil() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want globalrand
+}
+
+func seededFromWallClock() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want globalrand directtime
+}

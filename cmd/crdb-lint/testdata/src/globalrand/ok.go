@@ -1,0 +1,19 @@
+// Negative cases for the globalrand check: explicitly threaded *rand.Rand
+// values are the sanctioned pattern.
+package globalrand
+
+import "math/rand"
+
+type workload struct {
+	rng *rand.Rand
+}
+
+func (w *workload) draw() int {
+	// Method calls on a threaded generator are fine; only package-level
+	// functions touch the global source.
+	return w.rng.Intn(100)
+}
+
+func fork(parent *rand.Rand) int64 {
+	return parent.Int63()
+}

@@ -1,0 +1,9 @@
+// Test files may construct their own seeded generators; the seed is explicit
+// so failures stay reproducible.
+package globalrand
+
+import "math/rand"
+
+func testHelperRand() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}

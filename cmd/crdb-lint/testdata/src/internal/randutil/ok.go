@@ -1,0 +1,9 @@
+// internal/randutil is the RNG factory: rand.New/rand.NewSource are allowed
+// here (and only here) in non-test code.
+package randutil
+
+import "math/rand"
+
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,20 @@
+// Positive cases for the metricnames check: malformed names, non-literal
+// registration, and duplicate registration.
+package metricnames
+
+type registry struct{}
+
+func (r *registry) MustRegister(name string, m any) {}
+func (r *registry) NewCounter(name string) int      { return 0 }
+
+var dynamicName = "proxy.dynamic"
+
+func register(r *registry) {
+	r.MustRegister("BadName", nil)          // want metricnames
+	r.MustRegister("nodots", nil)           // want metricnames
+	r.MustRegister("proxy.Mixed_Case", nil) // want metricnames
+	r.MustRegister(dynamicName, nil)        // want metricnames
+	_ = r.NewCounter("Proxy.Requests")      // want metricnames
+	r.MustRegister("proxy.dup_name", nil)
+	r.MustRegister("proxy.dup_name", nil) // want metricnames
+}

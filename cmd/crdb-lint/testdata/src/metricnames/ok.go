@@ -1,0 +1,15 @@
+// Negative cases for the metricnames check: conventional subsystem.name
+// literals, each registered once.
+package metricnames
+
+func registerOK(r *registry) {
+	r.MustRegister("proxy.active_conns", nil)
+	r.MustRegister("orchestrator.pods_warm", nil)
+	r.MustRegister("kv.raft.apply_latency", nil)
+	_ = r.NewCounter("gateway.requests_total")
+	// A non-string first argument on the New* helpers means a package-level
+	// constructor, not a registration.
+	_ = newHistogram(64)
+}
+
+func newHistogram(buckets int) int { return buckets }

@@ -50,15 +50,16 @@ func main() {
 
 	// Reconnecting is a cold start: the proxy resumes the tenant and pulls
 	// a pre-warmed SQL node.
-	start := time.Now()
+	start := time.Now() //lint:allow directtime example prints real elapsed wall time
 	conn2, err := srv.Connect("acme", "s3cret")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn2.Close()
 	res = mustQuery(conn2, "SELECT COUNT(*) FROM accounts")
+	elapsed := time.Since(start) //lint:allow directtime example prints real elapsed wall time
 	fmt.Printf("cold start + first query in %v; row count = %s\n",
-		time.Since(start).Round(time.Millisecond), res.Rows[0][0])
+		elapsed.Round(time.Millisecond), res.Rows[0][0])
 }
 
 func mustQuery(conn *crdbserverless.Client, q string) *crdbserverless.Result {

@@ -27,6 +27,9 @@ type AblationFairnessResult struct {
 // fairness cannot distinguish them) the light tenant waits behind the whole
 // backlog; under tenant-fair queueing it is served next.
 func AblationFIFOvsFair() (*AblationFairnessResult, *Table, error) {
+	// The slot-holding workers burn real wall time, so the real clock is
+	// threaded explicitly rather than injected per-option.
+	clock := timeutil.NewRealClock()
 	run := func(fair bool) (time.Duration, error) {
 		q := admission.NewCPUQueue(admission.CPUQueueOptions{InitialSlots: 2})
 		ctx := context.Background()
@@ -54,12 +57,12 @@ func AblationFIFOvsFair() (*AblationFairnessResult, *Table, error) {
 					default:
 					}
 					release, err := q.Admit(ctx, admission.WorkInfo{
-						Tenant: heavyTenant, CreateTime: time.Now(),
+						Tenant: heavyTenant, CreateTime: clock.Now(),
 					})
 					if err != nil {
 						return
 					}
-					time.Sleep(2 * time.Millisecond)
+					clock.Sleep(2 * time.Millisecond)
 					release(2 * time.Millisecond)
 				}
 			}()
@@ -68,17 +71,17 @@ func AblationFIFOvsFair() (*AblationFairnessResult, *Table, error) {
 		// FIFO each op waits behind the heavy tenant's whole arrival
 		// backlog; under tenant-fair queueing it is served next.
 		for i := 0; i < 30; i++ {
-			start := time.Now()
+			start := clock.Now()
 			release, err := q.Admit(ctx, admission.WorkInfo{
-				Tenant: lightTenant, CreateTime: time.Now(),
+				Tenant: lightTenant, CreateTime: clock.Now(),
 			})
 			if err != nil {
 				return 0, err
 			}
-			time.Sleep(200 * time.Microsecond)
+			clock.Sleep(200 * time.Microsecond)
 			release(200 * time.Microsecond)
-			lightHist.Record(time.Since(start))
-			time.Sleep(3 * time.Millisecond)
+			lightHist.Record(clock.Since(start))
+			clock.Sleep(3 * time.Millisecond)
 		}
 		close(stop)
 		wg.Wait()

@@ -186,30 +186,50 @@ func TestTable1Shape(t *testing.T) {
 	for _, r := range res.Rows {
 		byCfg[r.Config] = r
 	}
-	// Admission control rescues the well-behaved tenant. The no-limits
-	// cluster fails in one of two ways depending on timing: completed
-	// transactions are slow (p99 blow-up), or almost nothing completes at
-	// all (throughput collapse, where the few survivors can even look
-	// fast). Either signature demonstrates the destabilization.
-	latencyBlowup := byCfg[ACOnly].P99*2 <= byCfg[NoLimits].P99
-	throughputCollapse := byCfg[NoLimits].TpmC*2 <= byCfg[ACOnly].TpmC
-	if !latencyBlowup && !throughputCollapse {
-		t.Fatalf("no-limits run not visibly worse: p99 %v vs AC %v, tpmC %.0f vs AC %.0f",
-			byCfg[NoLimits].P99, byCfg[ACOnly].P99, byCfg[NoLimits].TpmC, byCfg[ACOnly].TpmC)
+	// Every configuration must have completed work on the well-behaved
+	// tenant; a zero row means the testbed wedged rather than throttled.
+	for _, cfg := range []NoisyConfig{NoLimits, ACOnly, ACAndECPU} {
+		if _, ok := byCfg[cfg]; !ok {
+			t.Fatalf("missing row for config %v", cfg)
+		}
 	}
-	// eCPU limits improve latency further (or at least not worse) and drop
-	// utilization well below the AC-only (work-conserving) level.
-	if byCfg[ACAndECPU].P99 > byCfg[ACOnly].P99*2 {
-		t.Fatalf("AC+eCPU p99 %v vs AC %v", byCfg[ACAndECPU].P99, byCfg[ACOnly].P99)
+	if byCfg[ACOnly].TpmC <= 0 || byCfg[ACOnly].P99 <= 0 {
+		t.Fatalf("AC-only row is empty: tpmC %.0f, p99 %v", byCfg[ACOnly].TpmC, byCfg[ACOnly].P99)
 	}
-	if byCfg[ACAndECPU].MeanUtilization >= byCfg[ACOnly].MeanUtilization {
-		t.Fatalf("eCPU limits did not reduce utilization: %.2f vs %.2f",
-			byCfg[ACAndECPU].MeanUtilization, byCfg[ACOnly].MeanUtilization)
-	}
-	// Throughput of the think-time-paced tenant does not degrade under AC
-	// (allow a sliver of noise).
-	if byCfg[ACOnly].TpmC < byCfg[NoLimits].TpmC*0.9 {
-		t.Fatalf("tpmC fell with AC: %.0f vs %.0f", byCfg[ACOnly].TpmC, byCfg[NoLimits].TpmC)
+	if raceEnabled {
+		// The race detector slows the workers ~50x, so the fixed-duration
+		// run no longer saturates the executors and the latency/utilization
+		// contrasts between configurations vanish. Keep the deterministic
+		// shape checks above and log the (uninformative) contrast numbers.
+		t.Logf("race build: skipping timing-contrast assertions (p99 %v/%v/%v, util %.2f/%.2f)",
+			byCfg[NoLimits].P99, byCfg[ACOnly].P99, byCfg[ACAndECPU].P99,
+			byCfg[ACOnly].MeanUtilization, byCfg[ACAndECPU].MeanUtilization)
+	} else {
+		// Admission control rescues the well-behaved tenant. The no-limits
+		// cluster fails in one of two ways depending on timing: completed
+		// transactions are slow (p99 blow-up), or almost nothing completes at
+		// all (throughput collapse, where the few survivors can even look
+		// fast). Either signature demonstrates the destabilization.
+		latencyBlowup := byCfg[ACOnly].P99*2 <= byCfg[NoLimits].P99
+		throughputCollapse := byCfg[NoLimits].TpmC*2 <= byCfg[ACOnly].TpmC
+		if !latencyBlowup && !throughputCollapse {
+			t.Fatalf("no-limits run not visibly worse: p99 %v vs AC %v, tpmC %.0f vs AC %.0f",
+				byCfg[NoLimits].P99, byCfg[ACOnly].P99, byCfg[NoLimits].TpmC, byCfg[ACOnly].TpmC)
+		}
+		// eCPU limits improve latency further (or at least not worse) and drop
+		// utilization well below the AC-only (work-conserving) level.
+		if byCfg[ACAndECPU].P99 > byCfg[ACOnly].P99*2 {
+			t.Fatalf("AC+eCPU p99 %v vs AC %v", byCfg[ACAndECPU].P99, byCfg[ACOnly].P99)
+		}
+		if byCfg[ACAndECPU].MeanUtilization >= byCfg[ACOnly].MeanUtilization {
+			t.Fatalf("eCPU limits did not reduce utilization: %.2f vs %.2f",
+				byCfg[ACAndECPU].MeanUtilization, byCfg[ACOnly].MeanUtilization)
+		}
+		// Throughput of the think-time-paced tenant does not degrade under AC
+		// (allow a sliver of noise).
+		if byCfg[ACOnly].TpmC < byCfg[NoLimits].TpmC*0.9 {
+			t.Fatalf("tpmC fell with AC: %.0f vs %.0f", byCfg[ACOnly].TpmC, byCfg[NoLimits].TpmC)
+		}
 	}
 	// Fig 12/13 render.
 	if Fig12Table(ACOnly, res.Timelines[ACOnly]) == nil ||

@@ -83,11 +83,11 @@ func Fig6(opts Fig6Options) ([]Fig6Workload, *Table, error) {
 
 		hist := metric.NewHistogram()
 		for i := 0; i < ops; i++ {
-			start := time.Now()
+			start := tb.clock.Now()
 			if err := op(sess); err != nil {
 				return 0, metric.Summary{}, err
 			}
-			hist.Record(time.Since(start))
+			hist.Record(tb.clock.Since(start))
 		}
 
 		var kvAfter time.Duration

@@ -123,7 +123,7 @@ func Fig7(opts Fig7Options) (*Fig7Result, *Table, error) {
 		}
 		// Let the fleet sit idle briefly and measure CPU drift.
 		idleWindow := 200 * time.Millisecond
-		time.Sleep(idleWindow)
+		tb.clock.Sleep(idleWindow)
 		var kvBusy time.Duration
 		for _, kn := range tb.cluster.Nodes() {
 			kvBusy += kn.CPUBusy()

@@ -124,23 +124,23 @@ func Fig9(opts Fig9Options) (*Fig9Result, *Table, error) {
 				default:
 				}
 				ph := phase.Load()
-				start := time.Now()
+				start := tb.clock.Now()
 				_, qerr := conn.Query(fmt.Sprintf("SELECT b FROM t WHERE a = %d", i%20))
 				if qerr != nil {
 					atomic.AddInt64(&res.Errors, 1)
 					return
 				}
-				hists[ph].Record(time.Since(start))
+				hists[ph].Record(tb.clock.Since(start))
 				countsMu.Lock()
 				counts[ph]++
 				countsMu.Unlock()
 				i++
-				time.Sleep(2 * time.Millisecond)
+				tb.clock.Sleep(2 * time.Millisecond)
 			}
 		}(c)
 	}
 
-	time.Sleep(opts.Phase)
+	tb.clock.Sleep(opts.Phase)
 	phase.Store(1)
 
 	// Rolling upgrade: replace each SQL node with a fresh one, migrating
@@ -160,13 +160,13 @@ func Fig9(opts Fig9Options) (*Fig9Result, *Table, error) {
 				old.Node.ConnCount() == 0 {
 				break
 			}
-			time.Sleep(10 * time.Millisecond)
+			tb.clock.Sleep(10 * time.Millisecond)
 		}
 		orch.Tick() // reap the drained node
 	}
 
 	phase.Store(2)
-	time.Sleep(opts.Phase)
+	tb.clock.Sleep(opts.Phase)
 	close(stop)
 	wg.Wait()
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The wall-clock experiments run an order of magnitude slower
+// under it, which erases the timing contrasts some assertions rely on.
+const raceEnabled = true

@@ -10,6 +10,7 @@ import (
 	"crdbserverless/internal/kvserver"
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/workload"
 )
 
@@ -118,6 +119,9 @@ type Table1Options struct {
 	// noisy backlog destabilizes the cluster, comfortably above anything
 	// admission control lets through.
 	LivenessQueueLimit int
+	// Clock drives all waiting and latency measurement. Defaults to the
+	// real clock (the workers burn real CPU); tests may inject their own.
+	Clock timeutil.Clock
 	// Configs to run; default all three.
 	Configs []NoisyConfig
 }
@@ -149,6 +153,9 @@ func (o *Table1Options) defaults() {
 	}
 	if len(o.Configs) == 0 {
 		o.Configs = []NoisyConfig{NoLimits, ACOnly, ACAndECPU}
+	}
+	if o.Clock == nil {
+		o.Clock = timeutil.NewRealClock()
 	}
 }
 
@@ -206,6 +213,7 @@ func runNoisyConfig(cfg NoisyConfig, opts Table1Options) (*Table1Row, []Timeline
 	tb, err := newTestbed(testbedOptions{
 		kvNodes:   3,
 		vcpus:     4,
+		clock:     opts.Clock,
 		cost:      scaleCost(kvserver.DefaultCostConfig(), opts.CostScale),
 		admission: cfg != NoLimits,
 		// A tight liveness bound: the unthrottled noisy backlog makes
@@ -297,11 +305,11 @@ func runNoisyConfig(cfg NoisyConfig, opts Table1Options) (*Table1Row, []Timeline
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				start := time.Now()
+				start := tb.clock.Now()
 				for {
 					err := gen.RunMix(ctx, sess)
 					if err == nil {
-						testHist.Record(time.Since(start))
+						testHist.Record(tb.clock.Since(start))
 						atomic.AddInt64(&testTxns, 1)
 						break
 					}
@@ -309,9 +317,9 @@ func runNoisyConfig(cfg NoisyConfig, opts Table1Options) (*Table1Row, []Timeline
 					if stop.Load() {
 						return
 					}
-					time.Sleep(5 * time.Millisecond)
+					tb.clock.Sleep(5 * time.Millisecond)
 				}
-				time.Sleep(opts.ThinkTime)
+				tb.clock.Sleep(opts.ThinkTime)
 			}
 		}()
 	}
@@ -329,12 +337,12 @@ func runNoisyConfig(cfg NoisyConfig, opts Table1Options) (*Table1Row, []Timeline
 	var utilN int
 
 	sampleEvery := 100 * time.Millisecond
-	begin := time.Now()
+	begin := tb.clock.Now()
 	deadline := begin.Add(opts.Duration)
-	for time.Now().Before(deadline) {
-		time.Sleep(sampleEvery)
+	for tb.clock.Now().Before(deadline) {
+		tb.clock.Sleep(sampleEvery)
 		tb.cluster.Tick()
-		s := TimelineSample{At: time.Since(begin), ECPUPerTenant: map[string]float64{}}
+		s := TimelineSample{At: tb.clock.Since(begin), ECPUPerTenant: map[string]float64{}}
 		for i, n := range nodes {
 			busy := n.CPUBusy()
 			cores := (busy - prevBusy[i]).Seconds() / sampleEvery.Seconds()
@@ -362,11 +370,11 @@ func runNoisyConfig(cfg NoisyConfig, opts Table1Options) (*Table1Row, []Timeline
 	// Snapshot throughput at stop time: throttled noisy workers may take
 	// long to observe the stop flag, and that drain time is not part of
 	// the measurement window.
-	elapsed := time.Since(begin)
+	elapsed := tb.clock.Since(begin)
 	txns := atomic.LoadInt64(&testTxns)
 	aborts := atomic.LoadInt64(&testAborts)
 	stop.Store(true)
-	wgWaitTimeout(&wg, 30*time.Second)
+	wgWaitTimeout(tb.clock, &wg, 30*time.Second)
 
 	row := &Table1Row{
 		Config: cfg,
@@ -381,9 +389,9 @@ func runNoisyConfig(cfg NoisyConfig, opts Table1Options) (*Table1Row, []Timeline
 	return row, timeline, nil
 }
 
-// wgWaitTimeout waits for wg, giving up after d (stuck workers under extreme
-// no-AC queueing should not hang the harness).
-func wgWaitTimeout(wg *sync.WaitGroup, d time.Duration) {
+// wgWaitTimeout waits for wg, giving up after d on the given clock (stuck
+// workers under extreme no-AC queueing should not hang the harness).
+func wgWaitTimeout(clock timeutil.Clock, wg *sync.WaitGroup, d time.Duration) {
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
@@ -391,7 +399,7 @@ func wgWaitTimeout(wg *sync.WaitGroup, d time.Duration) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(d):
+	case <-clock.After(d):
 	}
 }
 

@@ -118,3 +118,8 @@ func (c *Clock) Update(remote Timestamp) {
 
 // PhysicalTime returns the underlying physical clock's current time.
 func (c *Clock) PhysicalTime() time.Time { return c.phys.Now() }
+
+// Physical returns the underlying physical clock, so callers that already
+// hold an HLC (e.g. the transaction coordinator's retry backoff) can wait on
+// the same time source instead of the wall clock.
+func (c *Clock) Physical() timeutil.Clock { return c.phys }

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// bannedTimeFuncs are the time-package entry points that read or wait on the
+// wall clock. Duration arithmetic and time.Time values are fine; observing
+// "now" outside a timeutil.Clock is not.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// checkDirectTime flags direct wall-clock access. internal/timeutil is the
+// one place allowed to touch the real clock (it implements RealClock), and
+// _test.go files may use real timeouts for hang protection.
+func checkDirectTime(f *file) []Diagnostic {
+	if f.pkgDir == "internal/timeutil" || f.isTest || len(f.timeNames) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgCall(call, f.timeNames); bannedTimeFuncs[fn] {
+			diags = append(diags, Diagnostic{
+				Pos:   f.fset.Position(call.Pos()),
+				Check: "directtime",
+				Message: fmt.Sprintf("direct time.%s call; thread a timeutil.Clock (or annotate: //lint:allow directtime <reason>)",
+					fn),
+			})
+		}
+		return true
+	})
+	return diags
+}

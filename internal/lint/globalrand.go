@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level functions that draw from
+// the process-global source. Using them makes runs irreproducible.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// checkGlobalRand enforces explicit RNG threading:
+//
+//   - global math/rand functions are banned everywhere (even in tests:
+//     unseeded draws make failures unreproducible);
+//   - rand.New / rand.NewSource are allowed only in internal/randutil (the
+//     RNG factory) and in _test.go files, which may build their own seeded
+//     generators;
+//   - seeding from time.Now (rand.NewSource(time.Now().UnixNano()) and
+//     friends) is flagged everywhere, including randutil and tests.
+func checkGlobalRand(f *file) []Diagnostic {
+	if len(f.randNames) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	inRandutil := f.pkgDir == "internal/randutil"
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgCall(call, f.randNames)
+		switch {
+		case globalRandFuncs[fn]:
+			diags = append(diags, Diagnostic{
+				Pos:   f.fset.Position(call.Pos()),
+				Check: "globalrand",
+				Message: fmt.Sprintf("global rand.%s draws from the process-wide source; thread a *rand.Rand (randutil.NewRand) instead",
+					fn),
+			})
+		case fn == "New" || fn == "NewSource":
+			if seededFromClock(call, f.timeNames) {
+				diags = append(diags, Diagnostic{
+					Pos:     f.fset.Position(call.Pos()),
+					Check:   "globalrand",
+					Message: fmt.Sprintf("rand.%s seeded from time.Now is irreproducible; use an explicit seed", fn),
+				})
+			} else if !inRandutil && !f.isTest {
+				diags = append(diags, Diagnostic{
+					Pos:     f.fset.Position(call.Pos()),
+					Check:   "globalrand",
+					Message: fmt.Sprintf("rand.%s outside internal/randutil; construct RNGs with randutil.NewRand/Fork so seeds are explicit", fn),
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// seededFromClock reports whether any argument of call contains a time.Now
+// call (the classic rand.NewSource(time.Now().UnixNano()) anti-pattern).
+func seededFromClock(call *ast.CallExpr, timeNames map[string]bool) bool {
+	if len(timeNames) == 0 {
+		return false
+	}
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok && pkgCall(inner, timeNames) == "Now" {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}

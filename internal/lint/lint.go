@@ -1,0 +1,279 @@
+// Package lint implements crdb-lint, a from-scratch static analyzer (stdlib
+// only: go/parser, go/ast, go/token) that enforces the repository's
+// correctness invariants:
+//
+//   - directtime: no direct time.Now/Sleep/After/... calls outside
+//     internal/timeutil and _test.go files; components thread a
+//     timeutil.Clock so the simulator and the latency experiments stay
+//     deterministic.
+//   - globalrand: no global math/rand functions anywhere, and no
+//     rand.New/rand.NewSource outside internal/randutil and tests; RNGs are
+//     threaded explicitly (randutil.NewRand/Fork) so every run is
+//     reproducible. Seeding any source from time.Now is flagged everywhere.
+//   - locksafety: mutex hygiene — a Lock with no Unlock on any path,
+//     `defer mu.Lock()` typos, by-value receivers/params of lock-bearing
+//     structs, and channel sends performed while a lock is held.
+//   - metricnames: metric registration uses literal `subsystem.name` names
+//     and never registers the same name twice.
+//
+// A finding can be suppressed with a justified escape hatch on the same line
+// or the line above:
+//
+//	//lint:allow <check> <reason>
+//
+// A directive with an unknown check name or a missing reason is itself a
+// violation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Checks is the set of known check names, in reporting order.
+var Checks = []string{"directtime", "globalrand", "locksafety", "metricnames"}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// file is one parsed source file plus the metadata the checks need.
+type file struct {
+	// relPath is the slash-separated path relative to the lint root.
+	relPath string
+	// pkgDir is the slash-separated directory of relPath ("." for root).
+	pkgDir string
+	isTest bool
+	fset   *token.FileSet
+	ast    *ast.File
+	// timeNames / randNames / syncNames are the local import names bound to
+	// the "time", "math/rand", and "sync" packages (empty when not
+	// imported; a package may be imported more than once under aliases).
+	timeNames map[string]bool
+	randNames map[string]bool
+	syncNames map[string]bool
+}
+
+// Tree is a parsed source tree ready to be checked.
+type Tree struct {
+	root  string
+	fset  *token.FileSet
+	files []*file
+}
+
+// Load parses every .go file under root, skipping testdata, vendor, and
+// hidden directories. Files that fail to parse are reported as errors.
+func Load(root string) (*Tree, error) {
+	t := &Tree{root: root, fset: token.NewFileSet()}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		af, err := parser.ParseFile(t.fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		f := &file{
+			relPath: rel,
+			pkgDir:  pathDir(rel),
+			isTest:  strings.HasSuffix(name, "_test.go"),
+			fset:    t.fset,
+			ast:     af,
+		}
+		f.timeNames = importNames(af, "time")
+		f.randNames = importNames(af, "math/rand")
+		f.syncNames = importNames(af, "sync")
+		t.files = append(t.files, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func pathDir(rel string) string {
+	if i := strings.LastIndexByte(rel, '/'); i >= 0 {
+		return rel[:i]
+	}
+	return "."
+}
+
+// importNames returns every local name the file binds importPath to.
+// Dot- and blank-imports contribute nothing.
+func importNames(af *ast.File, importPath string) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range af.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name != "_" && imp.Name.Name != "." {
+				names[imp.Name.Name] = true
+			}
+			continue
+		}
+		// Default name is the last path element.
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			names[p[i+1:]] = true
+		} else {
+			names[p] = true
+		}
+	}
+	return names
+}
+
+// Run lints the tree under root with every check and returns the surviving
+// diagnostics sorted by position.
+func Run(root string) ([]Diagnostic, error) {
+	tree, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	return tree.Check(), nil
+}
+
+// Check runs every check over the tree, applies //lint:allow directives, and
+// returns the surviving diagnostics sorted by position.
+func (t *Tree) Check() []Diagnostic {
+	var diags []Diagnostic
+	structIdx := buildStructIndex(t.files)
+	reg := newMetricNameIndex()
+	for _, f := range t.files {
+		diags = append(diags, checkDirectTime(f)...)
+		diags = append(diags, checkGlobalRand(f)...)
+		diags = append(diags, checkLockSafety(f, structIdx)...)
+		diags = append(diags, checkMetricNames(f, reg)...)
+	}
+	diags = append(diags, reg.duplicates()...)
+
+	// Apply and validate //lint:allow directives.
+	var out []Diagnostic
+	allowed := map[allowKey]bool{}
+	for _, f := range t.files {
+		ds, allows := parseAllows(f)
+		out = append(out, ds...)
+		for k := range allows {
+			allowed[k] = true
+		}
+	}
+	for _, d := range diags {
+		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Check}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}
+
+type allowKey struct {
+	filename string
+	line     int
+	check    string
+}
+
+var allowRE = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
+
+// parseAllows extracts //lint:allow directives from f. A directive suppresses
+// matching diagnostics on its own line and on the following line. Malformed
+// directives (unknown check, missing reason) are returned as diagnostics.
+func parseAllows(f *file) ([]Diagnostic, map[allowKey]bool) {
+	var diags []Diagnostic
+	allows := map[allowKey]bool{}
+	for _, cg := range f.ast.Comments {
+		for _, c := range cg.List {
+			m := allowRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := f.fset.Position(c.Pos())
+			check, reason := m[1], strings.TrimSpace(m[2])
+			if !knownCheck(check) {
+				diags = append(diags, Diagnostic{Pos: pos, Check: "lintdirective",
+					Message: fmt.Sprintf("lint:allow names unknown check %q (known: %s)", check, strings.Join(Checks, ", "))})
+				continue
+			}
+			if reason == "" {
+				diags = append(diags, Diagnostic{Pos: pos, Check: "lintdirective",
+					Message: fmt.Sprintf("lint:allow %s needs a reason", check)})
+				continue
+			}
+			allows[allowKey{pos.Filename, pos.Line, check}] = true
+			allows[allowKey{pos.Filename, pos.Line + 1, check}] = true
+		}
+	}
+	return diags, allows
+}
+
+func knownCheck(name string) bool {
+	for _, c := range Checks {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgCall matches a call of the form pkg.Sel(...) where pkg is one of the
+// given local package names, and returns Sel. The empty string means no
+// match.
+func pkgCall(call *ast.CallExpr, pkgNames map[string]bool) string {
+	if len(pkgNames) == 0 {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !pkgNames[id.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricNameRE is the registration convention: lowercase dot-separated
+// `subsystem.name` (at least two components, snake_case within each).
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// metricRegisterFuncs are the metric-registration entry points
+// (metric.Registry methods). For the New* helpers a non-string first
+// argument means the call is actually the package-level constructor
+// (metric.NewHistogram(), metric.NewTimeSeries(retention)) and is skipped.
+var metricRegisterFuncs = map[string]bool{
+	"MustRegister":  true,
+	"NewCounter":    true,
+	"NewGauge":      true,
+	"NewHistogram":  true,
+	"NewTimeSeries": true,
+}
+
+// metricNameIndex tracks every literal registration site in the tree so the
+// second registration of a name can be reported as a duplicate.
+type metricNameIndex struct {
+	sites map[string][]token.Position
+}
+
+func newMetricNameIndex() *metricNameIndex {
+	return &metricNameIndex{sites: map[string][]token.Position{}}
+}
+
+// checkMetricNames validates metric registration call sites in one file and
+// records them for tree-wide duplicate detection. Test files may register
+// freely (each test builds its own registry) but still get name-format
+// validation.
+func checkMetricNames(f *file, idx *metricNameIndex) []Diagnostic {
+	// internal/metric implements the registration plumbing: its helpers
+	// forward non-literal names to MustRegister by design.
+	if f.pkgDir == "internal/metric" {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !metricRegisterFuncs[sel.Sel.Name] {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			// MustRegister is unambiguous; its name must be a literal so
+			// the duplicate check can see it. The New* helpers double as
+			// package-level constructors, so a non-string first argument
+			// simply means "not a registration".
+			if sel.Sel.Name == "MustRegister" {
+				diags = append(diags, Diagnostic{
+					Pos:     f.fset.Position(call.Args[0].Pos()),
+					Check:   "metricnames",
+					Message: "metric name must be a string literal so duplicate registration is statically checkable",
+				})
+			}
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		pos := f.fset.Position(lit.Pos())
+		if !metricNameRE.MatchString(name) {
+			diags = append(diags, Diagnostic{
+				Pos:     pos,
+				Check:   "metricnames",
+				Message: fmt.Sprintf("metric name %q does not follow the subsystem.name convention (lowercase, dot-separated, snake_case)", name),
+			})
+			return true
+		}
+		if !f.isTest {
+			idx.sites[name] = append(idx.sites[name], pos)
+		}
+		return true
+	})
+	return diags
+}
+
+// duplicates reports every name registered more than once (each site after
+// the first is flagged, pointing back at the first).
+func (idx *metricNameIndex) duplicates() []Diagnostic {
+	var diags []Diagnostic
+	names := make([]string, 0, len(idx.sites))
+	for name := range idx.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sites := idx.sites[name]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Filename != sites[j].Filename {
+				return sites[i].Filename < sites[j].Filename
+			}
+			return sites[i].Line < sites[j].Line
+		})
+		first := sites[0]
+		for _, dup := range sites[1:] {
+			diags = append(diags, Diagnostic{
+				Pos:   dup,
+				Check: "metricnames",
+				Message: fmt.Sprintf("metric %q registered twice (first at %s:%d)",
+					name, shortPath(first.Filename), first.Line),
+			})
+		}
+	}
+	return diags
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -16,6 +16,7 @@ import (
 
 	"crdbserverless/internal/core"
 	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/metric"
 	"crdbserverless/internal/proxy"
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/server"
@@ -97,6 +98,9 @@ type Config struct {
 	DrainTimeout time.Duration
 	// NodeVCPUs is each SQL node's allocation (the paper uses 4).
 	NodeVCPUs int
+	// Metrics receives the orchestrator's counters (orchestrator.*). A
+	// fresh registry is created when nil.
+	Metrics *metric.Registry
 	// RevivalSecret for session migration.
 	RevivalSecret []byte
 	Colocated     bool
@@ -105,6 +109,12 @@ type Config struct {
 // Orchestrator manages the pod fleet for one region.
 type Orchestrator struct {
 	cfg Config
+
+	podsCreated   *metric.Counter
+	podsAssigned  *metric.Counter
+	podsReaped    *metric.Counter
+	coldResumes   *metric.Counter
+	suspendedPods *metric.Counter
 
 	mu struct {
 		sync.Mutex
@@ -127,7 +137,15 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.NodeVCPUs == 0 {
 		cfg.NodeVCPUs = 4
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metric.NewRegistry()
+	}
 	o := &Orchestrator{cfg: cfg}
+	o.podsCreated = cfg.Metrics.NewCounter("orchestrator.pods_created")
+	o.podsAssigned = cfg.Metrics.NewCounter("orchestrator.pods_assigned")
+	o.podsReaped = cfg.Metrics.NewCounter("orchestrator.pods_reaped")
+	o.coldResumes = cfg.Metrics.NewCounter("orchestrator.cold_resumes")
+	o.suspendedPods = cfg.Metrics.NewCounter("orchestrator.pods_suspended")
 	o.mu.byTenant = make(map[string][]*Pod)
 	if err := o.EnsureWarm(cfg.WarmPoolSize); err != nil {
 		return nil, err
@@ -172,6 +190,7 @@ func (o *Orchestrator) createPod() (*Pod, error) {
 		Colocated:     o.cfg.Colocated,
 	})
 	pod := &Pod{Node: node, state: PodWarm}
+	o.podsCreated.Inc(1)
 	if o.cfg.PreStartProcess {
 		if err := node.Start(); err != nil {
 			return nil, err
@@ -247,6 +266,7 @@ func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, err
 	pod.state = PodAssigned
 	pod.tenant = t.Name
 	pod.mu.Unlock()
+	o.podsAssigned.Inc(1)
 	o.mu.Lock()
 	o.mu.byTenant[t.Name] = append(o.mu.byTenant[t.Name], pod)
 	o.mu.Unlock()
@@ -322,6 +342,7 @@ func (o *Orchestrator) Tick() {
 }
 
 func (o *Orchestrator) stopPod(p *Pod) {
+	o.podsReaped.Inc(1)
 	p.Node.Close()
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -347,6 +368,7 @@ func (o *Orchestrator) SuspendTenant(ctx context.Context, name string) error {
 		p.state = PodStopped
 		p.mu.Unlock()
 		p.Node.Close()
+		o.suspendedPods.Inc(1)
 	}
 	return o.cfg.Registry.Suspend(ctx, name)
 }
@@ -367,6 +389,7 @@ func (o *Orchestrator) Lookup(ctx context.Context, tenantName string) ([]proxy.B
 			return nil, err
 		}
 		t.State = core.StateActive
+		o.coldResumes.Inc(1)
 	}
 	if len(o.servingPods(tenantName)) == 0 {
 		if _, err := o.AssignPod(ctx, t); err != nil {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"crdbserverless/internal/metric"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/wire"
 )
@@ -35,6 +36,9 @@ type Directory interface {
 type Config struct {
 	Directory Directory
 	Clock     timeutil.Clock
+	// Metrics receives the proxy's counters (proxy.*). A fresh registry is
+	// created when nil.
+	Metrics *metric.Registry
 	// ThrottleBase is the initial backoff after a failed authentication
 	// (doubles per failure). Defaults to 100ms.
 	ThrottleBase time.Duration
@@ -56,10 +60,11 @@ type Proxy struct {
 		connsPerBackend map[string]int
 		conns           map[*proxiedConn]struct{}
 		throttle        map[string]*throttleState
-		migrations      int64
-		authFailures    int64
 	}
 	wg sync.WaitGroup
+
+	migrations   *metric.Counter
+	authFailures *metric.Counter
 }
 
 type throttleState struct {
@@ -75,7 +80,12 @@ func New(cfg Config) *Proxy {
 	if cfg.ThrottleBase == 0 {
 		cfg.ThrottleBase = 100 * time.Millisecond
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metric.NewRegistry()
+	}
 	p := &Proxy{cfg: cfg}
+	p.migrations = cfg.Metrics.NewCounter("proxy.migrations")
+	p.authFailures = cfg.Metrics.NewCounter("proxy.auth_failures")
 	p.mu.connsPerBackend = make(map[string]int)
 	p.mu.conns = make(map[*proxiedConn]struct{})
 	p.mu.throttle = make(map[string]*throttleState)
@@ -118,18 +128,10 @@ func (p *Proxy) Close() {
 }
 
 // Migrations returns the number of completed session migrations.
-func (p *Proxy) Migrations() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.mu.migrations
-}
+func (p *Proxy) Migrations() int64 { return p.migrations.Value() }
 
 // AuthFailures returns the number of rejected authentication attempts seen.
-func (p *Proxy) AuthFailures() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.mu.authFailures
-}
+func (p *Proxy) AuthFailures() int64 { return p.authFailures.Value() }
 
 // ActiveConns returns the number of proxied connections.
 func (p *Proxy) ActiveConns() int {
@@ -200,9 +202,9 @@ func (p *Proxy) throttled(origin string) bool {
 
 // noteAuthFailure applies exponential backoff to the origin.
 func (p *Proxy) noteAuthFailure(origin string) {
+	p.authFailures.Inc(1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.mu.authFailures++
 	st := p.mu.throttle[origin]
 	if st == nil {
 		st = &throttleState{}
@@ -376,11 +378,7 @@ func (p *Proxy) RequestMigration(fromAddr, toAddr string) bool {
 	return false
 }
 
-func (p *Proxy) noteMigration() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.mu.migrations++
-}
+func (p *Proxy) noteMigration() { p.migrations.Inc(1) }
 
 // RebalanceTick evens connection counts across each tenant's healthy
 // backends (§4.2.2: "proxy servers periodically re-balance connections

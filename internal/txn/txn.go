@@ -234,7 +234,7 @@ func (c *Coordinator) RunTxn(ctx context.Context, fn func(*Txn) error) error {
 		}
 		backoff := (100 * time.Microsecond) << uint(shift)
 		backoff += time.Duration(t.meta.ID%13) * 37 * time.Microsecond
-		time.Sleep(backoff)
+		c.clock.Physical().Sleep(backoff)
 	}
 	return fmt.Errorf("txn: retry budget exhausted: %w", lastErr)
 }
