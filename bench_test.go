@@ -92,7 +92,10 @@ func BenchmarkFig9Migration(b *testing.B) {
 // without the pre-warmed SQL process.
 func BenchmarkFig10aColdStart(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, _ := experiments.Fig10a(2000)
+		res, _, err := experiments.Fig10a(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.Unoptimized.P50.Seconds(), "unopt-p50-s")
 		b.ReportMetric(res.Optimized.P50.Seconds(), "opt-p50-s")
 		b.ReportMetric(res.Optimized.P99.Seconds(), "opt-p99-s")

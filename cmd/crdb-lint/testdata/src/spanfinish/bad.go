@@ -1,0 +1,60 @@
+// Positive cases for the spanfinish check: spans whose Start* result is
+// dropped, blanked, or bound to a variable that is never finished and never
+// escapes.
+package spanfinish
+
+type span struct{}
+
+func (s *span) Finish()                    {}
+func (s *span) SetAttr(k string, v any)    {}
+func (s *span) Eventf(f string, a ...any)  {}
+func (s *span) StartChild(op string) *span { return &span{} }
+
+type tracer struct{}
+
+func (t *tracer) StartRoot(op string) *span { return &span{} }
+func (t *tracer) StartSpan(ctx any, op string) (any, *span) {
+	return ctx, &span{}
+}
+func (t *tracer) StartRemote(tid, sid uint64, op string) *span { return &span{} }
+
+func dropped(t *tracer) {
+	t.StartRoot("dropped") // want spanfinish
+}
+
+func blanked(t *tracer) {
+	_ = t.StartRoot("blanked") // want spanfinish
+}
+
+func blankedPair(t *tracer, ctx any) {
+	_, _ = t.StartSpan(ctx, "pair") // want spanfinish
+}
+
+func neverFinished(t *tracer) {
+	sp := t.StartRoot("leaky") // want spanfinish
+	sp.SetAttr("k", 1)
+	sp.Eventf("used but never finished")
+}
+
+func childNeverFinished(t *tracer) {
+	parent := t.StartRoot("parent")
+	defer parent.Finish()
+	c := parent.StartChild("child") // want spanfinish
+	c.SetAttr("k", 2)
+}
+
+func remoteNeverFinished(t *tracer) {
+	sp := t.StartRemote(1, 2, "remote") // want spanfinish
+	sp.Eventf("attached")
+}
+
+func pairNeverFinished(t *tracer, ctx any) {
+	ctx2, sp := t.StartSpan(ctx, "pair2") // want spanfinish
+	_ = ctx2
+	sp.SetAttr("k", 3)
+}
+
+func declNeverFinished(t *tracer) {
+	var sp = t.StartRoot("decl") // want spanfinish
+	sp.SetAttr("k", 4)
+}

@@ -6,13 +6,17 @@
 //
 //	crdb-sim                      # shell on tenant "demo"
 //	crdb-sim -tenant acme         # shell on a different tenant
-//	crdb-sim -exec "SHOW TABLES"  # one-shot statement
+//	crdb-sim -exec "SHOW TABLES"  # one-shot statements (';'-separated)
+//	crdb-sim -debug-addr :8081    # serve /debug/tracez and /debug/metrics
+//	crdb-sim -exec "..." -debug-dump   # dump both surfaces before exiting
 //
 // Shell meta-commands:
 //
 //	\tenants        list virtual clusters
 //	\suspend NAME   scale a tenant to zero
 //	\pods           show SQL pods per tenant
+//	\tracez         dump request traces (per-op percentiles + recent trees)
+//	\metrics        dump the metric registries in exposition format
 //	\q              quit
 package main
 
@@ -21,8 +25,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"crdbserverless"
 	"crdbserverless/internal/wire"
@@ -30,16 +36,28 @@ import (
 
 func main() {
 	var (
-		tenant = flag.String("tenant", "demo", "tenant (virtual cluster) to connect to")
-		exec   = flag.String("exec", "", "run one statement and exit")
+		tenant    = flag.String("tenant", "demo", "tenant (virtual cluster) to connect to")
+		exec      = flag.String("exec", "", "run ';'-separated statements and exit")
+		traceSeed = flag.Int64("trace-seed", 1, "seed for trace/span IDs (same seed + same workload => identical traces)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/tracez and /debug/metrics on this address")
+		debugDump = flag.Bool("debug-dump", false, "print /debug/tracez and /debug/metrics before exiting")
 	)
 	flag.Parse()
 
-	srv, err := crdbserverless.New(crdbserverless.Options{})
+	srv, err := crdbserverless.New(crdbserverless.Options{TraceSeed: *traceSeed})
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
+	debug := srv.DebugHandler()
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debug.HTTPHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "crdb-sim: debug server:", err)
+			}
+		}()
+		fmt.Printf("crdb-sim: debug surfaces at http://%s/debug/tracez and /debug/metrics\n", *debugAddr)
+	}
 	ctx := context.Background()
 	if _, err := srv.CreateTenant(ctx, *tenant, crdbserverless.TenantOptions{}); err != nil {
 		fatal(err)
@@ -51,8 +69,31 @@ func main() {
 	defer conn.Close()
 
 	if *exec != "" {
-		if err := runStatement(conn, *exec); err != nil {
-			fatal(err)
+		for _, stmt := range strings.Split(*exec, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := runStatement(conn, stmt); err != nil {
+				fatal(err)
+			}
+		}
+		if *debugDump {
+			// The connection's root span finishes asynchronously when the
+			// proxy tears the session down; close and wait for it to land
+			// in the recorder so the dump includes the full trace tree.
+			conn.Close()
+			for i := 0; i < 400 && len(srv.Tracer().Recorder().RecentRoots()) == 0; i++ {
+				//lint:allow directtime CLI waits on wall time for the proxy's async teardown
+				time.Sleep(5 * time.Millisecond)
+			}
+			if err := debug.WriteTracez(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if err := debug.WriteMetrics(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
@@ -74,6 +115,14 @@ func main() {
 			for _, t := range srv.Registry().List() {
 				pods := srv.Orchestrator("us-central1").PodsForTenant(t.Name)
 				fmt.Printf("  %-16s %d pod(s)\n", t.Name, len(pods))
+			}
+		case line == `\tracez`:
+			if err := debug.WriteTracez(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+		case line == `\metrics`:
+			if err := debug.WriteMetrics(os.Stdout); err != nil {
+				fmt.Println("error:", err)
 			}
 		case strings.HasPrefix(line, `\suspend `):
 			name := strings.TrimSpace(strings.TrimPrefix(line, `\suspend`))

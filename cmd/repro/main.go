@@ -9,7 +9,7 @@
 //	repro -list
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, table1 (also
-// emits fig12+fig13), fig11, pushdown, kvscaling, ablations.
+// emits fig12+fig13), tracez, fig11, pushdown, kvscaling, ablations.
 package main
 
 import (
@@ -123,7 +123,10 @@ func buildExperiments(quick bool) []experiment {
 			return nil
 		}},
 		{"fig10a", "cold start latency: pre-warmed SQL processes (§6.5.1)", func() error {
-			_, table := experiments.Fig10a(scale(2000, 400))
+			_, table, err := experiments.Fig10a(scale(2000, 400))
+			if err != nil {
+				return err
+			}
 			fmt.Print(table)
 			return nil
 		}},
@@ -150,6 +153,18 @@ func buildExperiments(quick bool) []experiment {
 				fmt.Println()
 				fmt.Print(experiments.Fig13Table(cfg, res.Timelines[cfg]))
 			}
+			return nil
+		}},
+		{"tracez", "observability: end-to-end request traces and the debug surfaces", func() error {
+			res, table, err := experiments.Tracez(experiments.TracezOptions{Queries: scale(50, 10)})
+			if err != nil {
+				return err
+			}
+			fmt.Print(table)
+			fmt.Println()
+			fmt.Print(res.Tracez)
+			fmt.Println()
+			fmt.Print(res.Metrics)
 			return nil
 		}},
 		{"fig11", "estimated CPU model accuracy on 23 held-out workloads (§6.7)", func() error {

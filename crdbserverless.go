@@ -25,14 +25,18 @@ import (
 
 	"crdbserverless/internal/autoscaler"
 	"crdbserverless/internal/core"
+	"crdbserverless/internal/debug"
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/lsm"
+	"crdbserverless/internal/metric"
 	"crdbserverless/internal/orchestrator"
 	"crdbserverless/internal/proxy"
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/sql"
 	"crdbserverless/internal/tenantcost"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 	"crdbserverless/internal/txn"
 	"crdbserverless/internal/wire"
 )
@@ -85,6 +89,13 @@ type Options struct {
 	Clock timeutil.Clock
 	// CostConfig overrides the KV ground-truth CPU cost model.
 	CostConfig *kvserver.CostConfig
+	// TraceSeed seeds the deployment tracer's ID generator; two deployments
+	// built with the same seed (and the same workload) produce identical
+	// trace and span IDs. Defaults to 1.
+	TraceSeed int64
+	// SlowSpanThreshold is the root-span duration beyond which a trace is
+	// force-retained by the recorder. Zero means the recorder default.
+	SlowSpanThreshold time.Duration
 }
 
 // Serverless is a running deployment.
@@ -96,6 +107,14 @@ type Serverless struct {
 	cluster  *kvserver.Cluster
 	registry *core.Registry
 	buckets  *tenantcost.BucketServer
+
+	// tracer is the deployment-wide request tracer; metrics is the
+	// deployment-level registry (trace.* counters live here), while each
+	// region's orchestrator and proxy share a per-region registry so the
+	// same metric names can repeat across regions.
+	tracer        *trace.Tracer
+	metrics       *metric.Registry
+	regionMetrics map[Region]*metric.Registry
 
 	orchestrators map[Region]*orchestrator.Orchestrator
 	autoscalers   map[Region]*autoscaler.Autoscaler
@@ -119,6 +138,9 @@ func New(opts Options) (*Serverless, error) {
 	if opts.Clock == nil {
 		opts.Clock = timeutil.NewRealClock()
 	}
+	if opts.TraceSeed == 0 {
+		opts.TraceSeed = 1
+	}
 	cost := kvserver.DefaultCostConfig()
 	if opts.CostConfig != nil {
 		cost = *opts.CostConfig
@@ -129,10 +151,18 @@ func New(opts Options) (*Serverless, error) {
 		opts:          opts,
 		topology:      topology,
 		dns:           region.NewDNS(topology),
+		metrics:       metric.NewRegistry(),
+		regionMetrics: make(map[Region]*metric.Registry),
 		orchestrators: make(map[Region]*orchestrator.Orchestrator),
 		autoscalers:   make(map[Region]*autoscaler.Autoscaler),
 		proxies:       make(map[Region]*proxy.Proxy),
 	}
+	s.tracer = trace.New(trace.Options{
+		Clock:         opts.Clock,
+		Seed:          opts.TraceSeed,
+		Metrics:       s.metrics,
+		SlowThreshold: opts.SlowSpanThreshold,
+	})
 
 	// The shared KV cluster spans all regions.
 	var nodes []*kvserver.Node
@@ -145,6 +175,7 @@ func New(opts Options) (*Serverless, error) {
 				Region:           string(r),
 				Clock:            opts.Clock,
 				Cost:             cost,
+				LSM:              lsm.Options{Tracer: s.tracer},
 				AdmissionEnabled: opts.AdmissionControl,
 			}))
 			id++
@@ -164,6 +195,12 @@ func New(opts Options) (*Serverless, error) {
 	}
 
 	for _, r := range opts.Regions {
+		// One registry per region, shared by the orchestrator and proxy:
+		// their metric names repeat across regions, so merging them into
+		// the deployment registry would collide. The debug handler labels
+		// each region's section instead.
+		regMetrics := metric.NewRegistry()
+		s.regionMetrics[r] = regMetrics
 		orch, err := orchestrator.New(orchestrator.Config{
 			Cluster:         cluster,
 			Registry:        s.registry,
@@ -173,6 +210,8 @@ func New(opts Options) (*Serverless, error) {
 			WarmPoolSize:    opts.WarmPoolSize,
 			PreStartProcess: true,
 			NodeVCPUs:       4,
+			Metrics:         regMetrics,
+			Tracer:          s.tracer,
 		})
 		if err != nil {
 			s.Close()
@@ -184,7 +223,7 @@ func New(opts Options) (*Serverless, error) {
 			Registry:     s.registry,
 			Clock:        opts.Clock,
 		})
-		p := proxy.New(proxy.Config{Directory: orch, Clock: opts.Clock})
+		p := proxy.New(proxy.Config{Directory: orch, Clock: opts.Clock, Metrics: regMetrics, Tracer: s.tracer})
 		if err := p.Start("127.0.0.1:0"); err != nil {
 			s.Close()
 			return nil, err
@@ -303,6 +342,33 @@ func (s *Serverless) Proxy(r Region) *proxy.Proxy { return s.proxies[r] }
 
 // Buckets returns the tenant token-bucket server (§5.2.2).
 func (s *Serverless) Buckets() *tenantcost.BucketServer { return s.buckets }
+
+// Tracer returns the deployment-wide request tracer.
+func (s *Serverless) Tracer() *trace.Tracer { return s.tracer }
+
+// Metrics returns the deployment-level metric registry (trace.* counters).
+// Per-region orchestrator/proxy metrics live in RegionMetrics.
+func (s *Serverless) Metrics() *metric.Registry { return s.metrics }
+
+// RegionMetrics returns the registry shared by a region's orchestrator and
+// proxy.
+func (s *Serverless) RegionMetrics(r Region) *metric.Registry { return s.regionMetrics[r] }
+
+// DebugHandler bundles the deployment's tracer and every metric registry
+// into the /debug/tracez and /debug/metrics surface. Sections are ordered
+// deployment-first, then regions in deployment order, so the exposition is
+// deterministic.
+func (s *Serverless) DebugHandler() *debug.Handler {
+	h := &debug.Handler{Tracer: s.tracer}
+	h.Sections = append(h.Sections, debug.Section{Registry: s.metrics})
+	for _, r := range s.opts.Regions {
+		h.Sections = append(h.Sections, debug.Section{
+			Labels:   map[string]string{"region": string(r)},
+			Registry: s.regionMetrics[r],
+		})
+	}
+	return h
+}
 
 // Topology returns the region topology and RTT matrix.
 func (s *Serverless) Topology() *region.Topology { return s.topology }

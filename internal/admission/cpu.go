@@ -7,6 +7,7 @@ import (
 
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // CPUQueue admits operations onto a bounded number of CPU "slots". The slot
@@ -80,8 +81,13 @@ func (q *CPUQueue) Admit(ctx context.Context, info WorkInfo) (release func(cpu t
 	q.mu.queued++
 	q.mu.Unlock()
 
+	sp := trace.SpanFromContext(ctx)
+	enqueued := q.clock.Now()
+	sp.Eventf("admission: cpu queued tenant=%d", info.Tenant)
+
 	select {
 	case <-w.grantCh:
+		sp.SetAttr("admission.cpu_wait", q.clock.Since(enqueued))
 		return q.releaseFunc(info.Tenant), nil
 	case <-ctx.Done():
 		q.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/lsm"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // WriteQueue admits write work against a token bucket denominated in bytes.
@@ -86,8 +87,13 @@ func (q *WriteQueue) Admit(ctx context.Context, info WorkInfo, bytes int64) erro
 	q.mu.queued++
 	q.mu.Unlock()
 
+	sp := trace.SpanFromContext(ctx)
+	enqueued := q.clock.Now()
+	sp.Eventf("admission: write queued tenant=%d bytes=%d", info.Tenant, bytes)
+
 	select {
 	case <-w.grantCh:
+		sp.SetAttr("admission.write_wait", q.clock.Since(enqueued))
 		return nil
 	case <-ctx.Done():
 		q.mu.Lock()

@@ -21,6 +21,7 @@
 package coldstart
 
 import (
+	"errors"
 	"math/rand"
 	"time"
 
@@ -28,6 +29,8 @@ import (
 	"crdbserverless/internal/randutil"
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/sql"
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // Dist is a log-normal latency distribution.
@@ -96,28 +99,37 @@ type Flow struct {
 	ClientRegion region.Region
 }
 
-// Simulate runs one cold-start trial and returns the end-to-end latency the
-// client would measure.
-func Simulate(rng *rand.Rand, p Params, f Flow) time.Duration {
-	var total time.Duration
+// Step is one named segment of a cold start. A trial's steps partition its
+// end-to-end latency exactly: summing D over the steps reproduces the total.
+type Step struct {
+	Name string
+	D    time.Duration
+}
+
+// SimulateSteps runs one cold-start trial and returns both the end-to-end
+// latency the client would measure and its decomposition into named steps.
+func SimulateSteps(rng *rand.Rand, p Params, f Flow) (time.Duration, []Step) {
+	var steps []Step
 
 	// 1. Control plane stamps a warm pod with the tenant.
-	total += p.PodScheduling.Sample(rng)
-	total += p.CertDelivery.Sample(rng)
+	steps = append(steps,
+		Step{"pod_assign", p.PodScheduling.Sample(rng)},
+		Step{"cert_issue", p.CertDelivery.Sample(rng)})
 
 	// 2. Process availability.
 	if f.PreWarmed {
 		// Already running; the fs-watch notices the certificates, and the
 		// client's TCP connection has been waiting in the accept queue.
-		total += p.FSWatchDetect.Sample(rng)
+		steps = append(steps, Step{"fs_watch", p.FSWatchDetect.Sample(rng)})
 	} else {
 		// The process starts now. The client's earlier connection attempts
 		// were refused (no listener -> TCP reset); the proxy retries with
 		// exponential backoff, which in expectation doubles the wait for
 		// the process (§6.5.1).
 		start := p.ProcessStart.Sample(rng)
-		total += start
-		total += retryPenalty(rng, start)
+		steps = append(steps,
+			Step{"process_start", start},
+			Step{"listen_retry", retryPenalty(rng, start)})
 	}
 
 	// 3. SQL node initialization: blocking system database accesses. The
@@ -126,17 +138,53 @@ func Simulate(rng *rand.Rand, p Params, f Flow) time.Duration {
 	descPlacement := f.Localities.Placement(sql.SystemDescriptorTable)
 	for i := 0; i < p.DescriptorReads; i++ {
 		rtt := descPlacement.ReadRTT(p.Topology, f.ClientRegion)
-		total += randutil.Jitter(rng, rtt, 0.1)
+		steps = append(steps, Step{"sysdb_descriptor_read", randutil.Jitter(rng, rtt, 0.1)})
 	}
 	instPlacement := f.Localities.Placement(sql.SystemSQLInstancesTable)
 	for i := 0; i < p.InstanceWrites; i++ {
 		rtt := instPlacement.WriteRTT(p.Topology, f.ClientRegion)
-		total += randutil.Jitter(rng, rtt, 0.1)
+		steps = append(steps, Step{"sysdb_instance_write", randutil.Jitter(rng, rtt, 0.1)})
 	}
 
-	// 4. Authentication and the first row read.
-	total += p.AuthAndFirstQuery.Sample(rng)
+	// 4. The proxy hands its held client connection to the now-ready pod,
+	// authentication completes, and the first row read returns (§4.3.1).
+	steps = append(steps, Step{"conn_migrate", p.AuthAndFirstQuery.Sample(rng)})
+
+	var total time.Duration
+	for _, st := range steps {
+		total += st.D
+	}
+	return total, steps
+}
+
+// Simulate runs one cold-start trial and returns the end-to-end latency the
+// client would measure.
+func Simulate(rng *rand.Rand, p Params, f Flow) time.Duration {
+	total, _ := SimulateSteps(rng, p, f)
 	return total
+}
+
+// TraceOne runs one cold-start trial and records it as a trace: a root span
+// "coldstart" with one child per step. The tracer must be driven by a manual
+// clock; TraceOne advances it by each step's sampled latency, so every child
+// span's duration is exactly that step's cost and the children sum to the
+// root span end to end.
+func TraceOne(tr *trace.Tracer, rng *rand.Rand, p Params, f Flow) (*trace.Span, time.Duration, error) {
+	clock, ok := tr.Clock().(*timeutil.ManualClock)
+	if !ok {
+		return nil, 0, errors.New("coldstart: TraceOne requires a tracer on a manual clock")
+	}
+	total, steps := SimulateSteps(rng, p, f)
+	root := tr.StartRoot("coldstart")
+	root.SetAttr("coldstart.prewarmed", f.PreWarmed)
+	root.SetAttr("coldstart.region", string(f.ClientRegion))
+	for _, st := range steps {
+		sp := root.StartChild(st.Name)
+		clock.Advance(st.D)
+		sp.Finish()
+	}
+	root.Finish()
+	return root, total, nil
 }
 
 // retryPenalty models the proxy's exponential backoff against a listener

@@ -163,7 +163,7 @@ func NewRegistry(cluster *kvserver.Cluster, buckets *tenantcost.BucketServer) (*
 func (r *Registry) load(ctx context.Context) error {
 	prefix := keys.MakeTableIndexPrefix(keys.SystemTenantID, tenantRecordTableID, keys.PrimaryIndexID)
 	span := keys.Span{Key: prefix, EndKey: prefix.PrefixEnd()}
-	return r.sysTxn.RunTxn(ctx, func(t *txn.Txn) error {
+	return r.sysTxn.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		rows, err := t.Scan(ctx, span, 0)
 		if err != nil {
 			return err
@@ -244,7 +244,7 @@ func (r *Registry) persist(ctx context.Context, t *Tenant) error {
 	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
 		return err
 	}
-	return r.sysTxn.RunTxn(ctx, func(tx *txn.Txn) error {
+	return r.sysTxn.RunTxn(ctx, func(ctx context.Context, tx *txn.Txn) error {
 		return tx.Put(ctx, tenantRecordKey(t.Name), buf.Bytes())
 	})
 }
@@ -338,7 +338,7 @@ func (r *Registry) Drop(ctx context.Context, name string) error {
 	}
 	// Reclaim the keyspace.
 	span := keys.MakeTenantSpan(id)
-	return r.sysTxn.RunTxn(ctx, func(tx *txn.Txn) error {
+	return r.sysTxn.RunTxn(ctx, func(ctx context.Context, tx *txn.Txn) error {
 		_, err := tx.Send(ctx, kvpb.Request{
 			Method: kvpb.DeleteRange, Key: span.Key, EndKey: span.EndKey,
 		})

@@ -163,7 +163,7 @@ func TestTenantDropReclaimsKeyspace(t *testing.T) {
 	ds := kvserver.NewDistSender(reg.Cluster(), kvserver.Identity{Tenant: tn.ID})
 	coord := txn.NewCoordinator(ds, reg.Cluster().Clock(), tn.ID)
 	k := append(keys.MakeTenantPrefix(tn.ID), []byte("data")...)
-	if err := coord.RunTxn(ctx, func(tx *txn.Txn) error {
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *txn.Txn) error {
 		return tx.Put(ctx, k, []byte("v"))
 	}); err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestTenantDropReclaimsKeyspace(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Data is gone (read through the system tenant, which sees everything).
-	if err := reg.SystemCoordinator().RunTxn(ctx, func(tx *txn.Txn) error {
+	if err := reg.SystemCoordinator().RunTxn(ctx, func(ctx context.Context, tx *txn.Txn) error {
 		rows, err := tx.Scan(ctx, keys.MakeTenantSpan(tn.ID), 0)
 		if err != nil {
 			return err
@@ -267,7 +267,7 @@ func TestCrossTenantIsolationEndToEnd(t *testing.T) {
 	bsender := kvserver.NewDistSender(reg.Cluster(), kvserver.Identity{Tenant: b.ID})
 	bcoord := txn.NewCoordinator(bsender, reg.Cluster().Clock(), b.ID)
 	secret := append(keys.MakeTenantPrefix(b.ID), []byte("secret")...)
-	if err := bcoord.RunTxn(ctx, func(tx *txn.Txn) error {
+	if err := bcoord.RunTxn(ctx, func(ctx context.Context, tx *txn.Txn) error {
 		return tx.Put(ctx, secret, []byte("b-data"))
 	}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,64 @@
+// Package debug is the deployment's introspection surface: a plain-text
+// /debug/tracez page (per-operation span-duration percentiles plus
+// retained slow traces, from the tracer's recorder) and a /debug/metrics
+// page (Prometheus-style exposition of every metric registry in the
+// deployment, one labeled section per region). cmd/crdb-sim serves it
+// over HTTP and dumps it on demand; cmd/repro dumps it after the tracez
+// experiment.
+package debug
+
+import (
+	"io"
+	"net/http"
+
+	"crdbserverless/internal/metric"
+	"crdbserverless/internal/trace"
+)
+
+// Section is one metric registry on the exposition page, distinguished
+// from the others by a label set (e.g. region="us-east1"). A nil or
+// empty label map exposes the registry's metrics unlabeled.
+type Section struct {
+	Labels   map[string]string
+	Registry *metric.Registry
+}
+
+// Handler renders the debug pages. The zero value renders empty pages.
+type Handler struct {
+	Tracer   *trace.Tracer
+	Sections []Section
+}
+
+// WriteTracez writes the /debug/tracez page.
+func (h *Handler) WriteTracez(w io.Writer) error {
+	return h.Tracer.Recorder().WriteTracez(w)
+}
+
+// WriteMetrics writes the /debug/metrics page: every section's registry
+// in registration-name order, sections in declaration order.
+func (h *Handler) WriteMetrics(w io.Writer) error {
+	for _, s := range h.Sections {
+		if s.Registry == nil {
+			continue
+		}
+		if err := s.Registry.WriteExpositionLabels(w, s.Labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HTTPHandler returns an http.Handler serving /debug/tracez and
+// /debug/metrics as text/plain.
+func (h *Handler) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = h.WriteTracez(w)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = h.WriteMetrics(w)
+	})
+	return mux
+}

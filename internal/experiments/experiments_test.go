@@ -147,12 +147,35 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shapes(t *testing.T) {
-	a, tableA := Fig10a(400)
+	a, tableA, err := Fig10a(400)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tableA == nil {
 		t.Fatal("no table")
 	}
 	if a.Optimized.P50*2 > a.Unoptimized.P50 {
 		t.Fatalf("pre-warming gain too small: %v vs %v", a.Optimized.P50, a.Unoptimized.P50)
+	}
+	// The cold-start trace decomposes scale-from-zero into the paper's
+	// steps: pod assignment, certificate issuance, and the connection
+	// migration at the end, with child durations partitioning the root.
+	if a.Trace == nil {
+		t.Fatal("fig10a returned no trace")
+	}
+	ops := map[string]bool{}
+	var sum time.Duration
+	for _, c := range a.Trace.Children() {
+		ops[c.Op()] = true
+		sum += c.Duration()
+	}
+	for _, want := range []string{"pod_assign", "cert_issue", "fs_watch", "conn_migrate"} {
+		if !ops[want] {
+			t.Fatalf("cold-start trace missing step %q (have %v)", want, ops)
+		}
+	}
+	if sum != a.Trace.Duration() {
+		t.Fatalf("child spans sum to %v, root is %v", sum, a.Trace.Duration())
 	}
 	b, tableB := Fig10b(400)
 	if tableB == nil || len(b) != 3 {
@@ -299,5 +322,31 @@ func TestAblations(t *testing.T) {
 	_, table4 := AblationWarmPool(20, 500)
 	if table4 == nil {
 		t.Fatal("no warm pool table")
+	}
+}
+
+func TestTracezObservability(t *testing.T) {
+	res, table, err := Tracez(TracezOptions{Queries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil {
+		t.Fatal("no table")
+	}
+	// The full point-read path nests proxy.conn -> proxy.exchange ->
+	// sqlnode.query -> sql.exec -> txn.run -> dist.send -> kv.eval.
+	if res.DeepestChain < 5 {
+		t.Fatalf("deepest span chain = %d, want >= 5\n%s", res.DeepestChain, res.Tracez)
+	}
+	// Admission-queue wait must surface as a span attribute the
+	// experiment consumed.
+	if res.AdmissionWaits == 0 {
+		t.Fatalf("no kv.eval spans carried admission.wait\n%s", res.Tracez)
+	}
+	if !strings.Contains(res.Tracez, "proxy.conn") || !strings.Contains(res.Tracez, "kv.eval") {
+		t.Fatalf("tracez dump missing ops:\n%s", res.Tracez)
+	}
+	if !strings.Contains(res.Metrics, "trace_spans_finished") {
+		t.Fatalf("metrics dump missing trace counters:\n%s", res.Metrics)
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"crdbserverless/internal/randutil"
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/sql"
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // Fig10aResult compares cold-start latency with and without process
@@ -16,12 +18,19 @@ import (
 type Fig10aResult struct {
 	Unoptimized metric.Summary
 	Optimized   metric.Summary
+	// Trace is one optimized cold start decomposed into child spans
+	// (pod_assign, cert_issue, fs_watch, system database accesses,
+	// conn_migrate). The children partition the root exactly.
+	Trace *trace.Span
 }
 
 // Fig10a reproduces §6.5.1: the production cold-start prober measured before
 // and after the pre-warming optimization. Expected shape: p50 and p99 both
-// drop by more than half; the optimized flow is sub-second.
-func Fig10a(trials int) (*Fig10aResult, *Table) {
+// drop by more than half; the optimized flow is sub-second. It also records
+// one optimized trial as a trace and verifies the scale-from-zero
+// decomposition: the child spans' durations sum exactly to the end-to-end
+// root span.
+func Fig10a(trials int) (*Fig10aResult, *Table, error) {
 	if trials <= 0 {
 		trials = 1000
 	}
@@ -37,7 +46,27 @@ func Fig10a(trials int) (*Fig10aResult, *Table) {
 		PreWarmed: true, Localities: loc, ClientRegion: "us-central1",
 	}, trials)
 
-	res := &Fig10aResult{Unoptimized: unopt.Snapshot(), Optimized: opt.Snapshot()}
+	// Decompose one optimized cold start as a trace on a manual-clock
+	// tracer and assert the structural invariant.
+	clock := timeutil.NewManualClock(time.Unix(0, 0))
+	tr := trace.New(trace.Options{Clock: clock, Seed: 20250622})
+	root, total, err := coldstart.TraceOne(tr, rng, params, coldstart.Flow{
+		PreWarmed: true, Localities: loc, ClientRegion: "us-central1",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var sum time.Duration
+	for _, c := range root.Children() {
+		sum += c.Duration()
+	}
+	if sum != root.Duration() || sum != total {
+		return nil, nil, fmt.Errorf(
+			"fig10a: cold-start trace does not decompose: children sum %v, root %v, simulated total %v",
+			sum, root.Duration(), total)
+	}
+
+	res := &Fig10aResult{Unoptimized: unopt.Snapshot(), Optimized: opt.Snapshot(), Trace: root}
 	table := &Table{
 		Title:   "Fig 10a: cold start latency, pre-warmed SQL process (§6.5.1)",
 		Columns: []string{"flow", "p50", "p99"},
@@ -48,7 +77,11 @@ func Fig10a(trials int) (*Fig10aResult, *Table) {
 				fmt.Sprintf("%.0f%%", 100*(1-res.Optimized.P99.Seconds()/res.Unoptimized.P99.Seconds()))},
 		},
 	}
-	return res, table
+	for _, c := range root.Children() {
+		table.Rows = append(table.Rows, []string{"  trace: " + c.Op(), fmtDur(c.Duration()), ""})
+	}
+	table.Rows = append(table.Rows, []string{"  trace: end-to-end", fmtDur(root.Duration()), ""})
+	return res, table, nil
 }
 
 // Fig10bRegion is one region's cold-start distribution under both system

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"crdbserverless/internal/core"
+	"crdbserverless/internal/debug"
+	"crdbserverless/internal/metric"
+	"crdbserverless/internal/orchestrator"
+	"crdbserverless/internal/proxy"
+	"crdbserverless/internal/trace"
+	"crdbserverless/internal/wire"
+)
+
+// TracezResult is the observability demo's digest of the trace surface.
+type TracezResult struct {
+	// Roots is the number of finished root traces the recorder retained.
+	Roots int
+	// DeepestChain is the longest parent-child chain seen in any trace
+	// (the full point-read path is proxy.conn -> proxy.exchange ->
+	// sqlnode.query -> sql.exec -> txn.run -> dist.send -> kv.eval).
+	DeepestChain int
+	// AdmissionWaits counts kv.eval spans carrying the admission.wait
+	// attribute; AdmissionWaitMax is the largest recorded wait.
+	AdmissionWaits   int
+	AdmissionWaitMax time.Duration
+	// Tracez and Metrics are the rendered /debug/tracez and /debug/metrics
+	// surfaces for the run.
+	Tracez  string
+	Metrics string
+}
+
+// TracezOptions size the observability demo.
+type TracezOptions struct {
+	Queries int
+	Seed    int64
+}
+
+// Tracez runs a traced point-read workload through the full serving path —
+// routing proxy, SQL node, transaction coordinator, DistSender, KV command
+// evaluation under admission control — then reports what the tracing
+// subsystem observed: trace count and depth, the admission-queue waits
+// recorded on kv.eval spans, and the rendered debug surfaces.
+func Tracez(opts TracezOptions) (*TracezResult, *Table, error) {
+	if opts.Queries <= 0 {
+		opts.Queries = 25
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 20250805
+	}
+	ctx := context.Background()
+	tb, err := newTestbed(testbedOptions{kvNodes: 3, vcpus: 8, admission: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tb.close()
+
+	reg := metric.NewRegistry()
+	tr := trace.New(trace.Options{Clock: tb.clock, Seed: opts.Seed, Metrics: reg})
+	orch, err := orchestrator.New(orchestrator.Config{
+		Cluster:         tb.cluster,
+		Registry:        tb.reg,
+		Buckets:         tb.buckets,
+		Region:          "us-central1",
+		WarmPoolSize:    2,
+		PreStartProcess: true,
+		Metrics:         reg,
+		Tracer:          tr,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer orch.Close()
+	p := proxy.New(proxy.Config{Directory: orch, Clock: tb.clock, Metrics: reg, Tracer: tr})
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		return nil, nil, err
+	}
+	defer p.Close()
+
+	if _, err := tb.reg.CreateTenant(ctx, "obs", core.TenantOptions{}); err != nil {
+		return nil, nil, err
+	}
+	conn, err := wire.Connect(p.Addr(), map[string]string{"tenant": "obs", "user": "app"})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := conn.Query("CREATE TABLE t (a INT PRIMARY KEY, b INT)"); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < opts.Queries; i++ {
+		if _, err := conn.Query(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i*i)); err != nil {
+			conn.Close()
+			return nil, nil, err
+		}
+		if _, err := conn.Query(fmt.Sprintf("SELECT b FROM t WHERE a = %d", i)); err != nil {
+			conn.Close()
+			return nil, nil, err
+		}
+	}
+	conn.Close()
+
+	// The connection's root span finishes asynchronously when the proxy
+	// tears the session down; wait for it to land in the recorder.
+	var roots []*trace.Span
+	deadline := tb.clock.Now().Add(2 * time.Second)
+	for {
+		roots = tr.Recorder().RecentRoots()
+		if hasOp(roots, "proxy.conn") || !tb.clock.Now().Before(deadline) {
+			break
+		}
+		tb.clock.Sleep(5 * time.Millisecond)
+	}
+	if !hasOp(roots, "proxy.conn") {
+		return nil, nil, fmt.Errorf("tracez: no proxy.conn root trace recorded (have %d roots)", len(roots))
+	}
+
+	res := &TracezResult{Roots: len(roots)}
+	var walk func(s *trace.Span, depth int)
+	walk = func(s *trace.Span, depth int) {
+		if depth > res.DeepestChain {
+			res.DeepestChain = depth
+		}
+		if s.Op() == "kv.eval" {
+			if v, ok := s.Attr("admission.wait"); ok {
+				if d, ok := v.(time.Duration); ok {
+					res.AdmissionWaits++
+					if d > res.AdmissionWaitMax {
+						res.AdmissionWaitMax = d
+					}
+				}
+			}
+		}
+		for _, c := range s.Children() {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+
+	h := &debug.Handler{Tracer: tr, Sections: []debug.Section{{Registry: reg}}}
+	var tz, mx strings.Builder
+	if err := h.WriteTracez(&tz); err != nil {
+		return nil, nil, err
+	}
+	if err := h.WriteMetrics(&mx); err != nil {
+		return nil, nil, err
+	}
+	res.Tracez = tz.String()
+	res.Metrics = mx.String()
+
+	table := &Table{
+		Title:   "Observability: end-to-end request traces (point reads under admission control)",
+		Columns: []string{"measure", "value"},
+		Rows: [][]string{
+			{"root traces recorded", fmt.Sprintf("%d", res.Roots)},
+			{"deepest span chain", fmt.Sprintf("%d", res.DeepestChain)},
+			{"kv.eval spans with admission.wait", fmt.Sprintf("%d", res.AdmissionWaits)},
+			{"max admission-queue wait", fmtDur(res.AdmissionWaitMax)},
+		},
+	}
+	return res, table, nil
+}
+
+func hasOp(roots []*trace.Span, op string) bool {
+	for _, r := range roots {
+		if r.Op() == op {
+			return true
+		}
+	}
+	return false
+}

@@ -14,6 +14,7 @@ import (
 	"crdbserverless/internal/raftlite"
 	"crdbserverless/internal/rowfilter"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // Identity is the authenticated identity a KV client (SQL node) presents —
@@ -535,6 +536,9 @@ var errRetryExhausted = errors.New("kvserver: internal retry budget exhausted")
 // follower read on a node holding a replica). Authorization (§3.2.3) runs
 // before any data access.
 func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+	ctx, sp := trace.StartSpan(ctx, "kv.eval")
+	defer sp.Finish()
+	sp.SetAttr("kv.node", nodeID)
 	n, ok := c.Node(nodeID)
 	if !ok {
 		return nil, fmt.Errorf("kvserver: unknown node %d", nodeID)
@@ -589,8 +593,11 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 		}
 	}
 
+	sp.SetAttr("kv.range", rs.desc.RangeID)
+
 	// Admission control (§5.1): writes pass the write queue, everything
 	// passes the CPU queue.
+	admitStart := c.clock.Now()
 	if err := n.admitWrite(ctx, ba); err != nil {
 		return nil, err
 	}
@@ -598,6 +605,7 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("admission.wait", c.clock.Since(admitStart))
 
 	resp, evalErr := c.evaluateBatch(n, rs, ba)
 	// Charge ground-truth CPU: the work happens whether or not evaluation

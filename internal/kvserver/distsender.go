@@ -8,6 +8,7 @@ import (
 
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/trace"
 )
 
 // DistSender routes batches to the right ranges and nodes on behalf of one
@@ -44,6 +45,9 @@ const maxSendRetries = 16
 // Send routes and executes the batch, merging per-range responses back into
 // request order.
 func (ds *DistSender) Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+	ctx, sp := trace.StartSpan(ctx, "dist.send")
+	defer sp.Finish()
+	sp.SetAttr("dist.requests", len(ba.Requests))
 	if ba.Timestamp.IsEmpty() && ba.Txn == nil {
 		ba.Timestamp = ds.cluster.Clock().Now()
 	}
@@ -119,6 +123,7 @@ func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba
 				return resp, nil
 			}
 			// Continue the scan(s) on the following range(s).
+			trace.SpanFromContext(ctx).Eventf("range lookup: scan continues past r%d", desc.RangeID)
 			nextDesc, lerr := ds.lookupFresh(remainder[0].Key)
 			if lerr != nil {
 				return nil, lerr
@@ -137,6 +142,9 @@ func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba
 		var rnf *kvpb.RangeNotFoundError
 		switch {
 		case errors.As(err, &nle):
+			trace.SpanFromContext(ctx).Eventf(
+				"redirect: not leaseholder for r%d on n%d, leaseholder hint n%d (attempt %d)",
+				desc.RangeID, target, nle.Leaseholder, attempt+1)
 			if nle.Leaseholder != 0 {
 				ds.noteLeaseholder(desc.RangeID, nle.Leaseholder)
 			} else {
@@ -144,6 +152,8 @@ func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba
 			}
 		case errors.As(err, &rkm), errors.As(err, &rnf):
 			// Stale cache: refresh from META and retry.
+			trace.SpanFromContext(ctx).Eventf("range lookup: stale descriptor for r%d (attempt %d): %v",
+				desc.RangeID, attempt+1, err)
 			fresh, lerr := ds.lookupFresh(ba.Requests[0].Key)
 			if lerr != nil {
 				return nil, lerr

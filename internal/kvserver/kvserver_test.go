@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // newTestCluster builds an n-node cluster with tiny costs so tests run fast.
@@ -576,5 +579,55 @@ func TestCommandRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeCommand([]byte("garbage")); err == nil {
 		t.Fatal("garbage command should fail to decode")
+	}
+}
+
+func TestDistSenderRedirectEventOnSpan(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	tr := trace.New(trace.Options{Clock: timeutil.NewRealClock(), Seed: 1})
+	root := tr.StartRoot("test")
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	k := tenantKey(2, "k")
+	if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(k, "v1")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Move the lease so the DistSender's leaseholder hint goes stale.
+	desc, _ := c.LookupRange(k)
+	c.mu.RLock()
+	rs := c.mu.ranges[desc.RangeID]
+	c.mu.RUnlock()
+	lh, _ := rs.group.Leaseholder()
+	var other NodeID
+	for _, r := range desc.Replicas {
+		if r != lh {
+			other = r
+			break
+		}
+	}
+	if err := rs.group.TransferLease(lh, other); err != nil {
+		t.Fatal(err)
+	}
+	_ = rs.group.CatchUp(other)
+	if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(k, "v2")}}); err != nil {
+		t.Fatalf("send after lease move: %v", err)
+	}
+	root.Finish()
+
+	// The redirected send's dist.send span must carry a structured
+	// redirect event naming the stale target and the leaseholder hint.
+	var sawRedirect bool
+	for _, sp := range root.Children() {
+		if sp.Op() != "dist.send" {
+			continue
+		}
+		for _, ev := range sp.Events() {
+			if strings.Contains(ev.Msg, "redirect: not leaseholder") {
+				sawRedirect = true
+			}
+		}
+	}
+	if !sawRedirect {
+		t.Fatalf("no redirect event recorded on any dist.send span")
 	}
 }

@@ -15,6 +15,9 @@
 //     structs, and channel sends performed while a lock is held.
 //   - metricnames: metric registration uses literal `subsystem.name` names
 //     and never registers the same name twice.
+//   - spanfinish: every trace span started in a function (StartSpan,
+//     StartRoot, StartRemote, StartChild) is finished there or escapes to a
+//     new owner; a leaked span never reaches the trace recorder.
 //
 // A finding can be suppressed with a justified escape hatch on the same line
 // or the line above:
@@ -39,7 +42,7 @@ import (
 )
 
 // Checks is the set of known check names, in reporting order.
-var Checks = []string{"directtime", "globalrand", "locksafety", "metricnames"}
+var Checks = []string{"directtime", "globalrand", "locksafety", "metricnames", "spanfinish"}
 
 // Diagnostic is one reported violation.
 type Diagnostic struct {
@@ -180,6 +183,7 @@ func (t *Tree) Check() []Diagnostic {
 		diags = append(diags, checkGlobalRand(f)...)
 		diags = append(diags, checkLockSafety(f, structIdx)...)
 		diags = append(diags, checkMetricNames(f, reg)...)
+		diags = append(diags, checkSpanFinish(f)...)
 	}
 	diags = append(diags, reg.duplicates()...)
 

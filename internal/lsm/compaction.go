@@ -55,6 +55,10 @@ func (e *Engine) compactLevelLocked(lvl int) {
 	if len(from) == 0 {
 		return
 	}
+	sp := e.opts.Tracer.StartRoot("lsm.compact")
+	defer sp.Finish()
+	sp.SetAttr("lsm.level", lvl)
+	sp.SetAttr("lsm.input_tables", len(from))
 	next := lvl + 1
 
 	// Compute the key range covered by the input tables.
@@ -112,6 +116,7 @@ func (e *Engine) compactLevelLocked(lvl int) {
 	e.mu.levels[next] = keep
 	e.mu.metrics.CompactedBytes += out.sizeB
 	e.mu.metrics.CompactionCount++
+	sp.SetAttr("lsm.output_bytes", out.sizeB)
 }
 
 // Compact forces a full manual compaction of every level down to the bottom.

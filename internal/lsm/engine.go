@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"crdbserverless/internal/randutil"
+	"crdbserverless/internal/trace"
 )
 
 // numLevels is the number of on-disk levels (L0..L6), following Pebble.
@@ -26,6 +27,10 @@ type Options struct {
 	// DisableAutoCompactions turns off compaction scheduling after writes;
 	// tests use this to construct specific level shapes.
 	DisableAutoCompactions bool
+	// Tracer, when non-nil, records background flush and compaction work
+	// as root spans (lsm.flush / lsm.compact). The engine has no clock of
+	// its own; span timestamps come from the tracer's clock.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) withDefaults() Options {
@@ -177,6 +182,7 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return nil
 	}
+	sp := e.opts.Tracer.StartRoot("lsm.flush")
 	entries := e.mu.mem.entries()
 	t := newSSTable(e.mu.nextID, entries)
 	e.mu.nextID++
@@ -186,11 +192,14 @@ func (e *Engine) Flush() error {
 	e.mu.metrics.FlushedBytes += t.sizeB
 	e.mu.metrics.FlushCount++
 	e.mu.metrics.MemTableBytes = 0
+	sp.SetAttr("lsm.flushed_bytes", t.sizeB)
+	sp.SetAttr("lsm.l0_files", len(e.mu.levels[0]))
 	auto := !e.opts.DisableAutoCompactions
 	e.mu.Unlock()
 	if auto {
 		e.maybeCompact()
 	}
+	sp.Finish()
 	return nil
 }
 

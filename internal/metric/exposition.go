@@ -1,0 +1,101 @@
+package metric
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a Prometheus-style text exposition of a Registry:
+// every registered metric — counters, gauges, histograms (as summaries
+// with p50/p95/p99), and time series — rendered in deterministic sorted
+// name order. Dots in registered names become underscores (the
+// registry's `subsystem.name` convention maps onto Prometheus's
+// `subsystem_name`), and an optional label set distinguishes multiple
+// registries sharing one page (e.g. one per region).
+
+// expositionName converts a registered `subsystem.name` to the exposed
+// `subsystem_name` form.
+func expositionName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}
+
+// formatLabels renders a label set as `{k="v",...}` with keys sorted,
+// or "" when empty. extra (e.g. a quantile label) is appended last.
+func formatLabels(labels map[string]string, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition writes every registered metric in Prometheus-style
+// text format, in sorted name order.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	return r.WriteExpositionLabels(w, nil)
+}
+
+// WriteExpositionLabels is WriteExposition with a label set attached to
+// every exposed line, so several registries (one per region, say) can
+// share one exposition page without name collisions.
+func (r *Registry) WriteExpositionLabels(w io.Writer, labels map[string]string) error {
+	var b strings.Builder
+	for _, name := range r.Names() {
+		m := r.Get(name)
+		en := expositionName(name)
+		ls := formatLabels(labels, "")
+		switch v := m.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", en)
+			fmt.Fprintf(&b, "%s%s %d\n", en, ls, v.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", en)
+			fmt.Fprintf(&b, "%s%s %s\n", en, ls, formatFloat(v.Value()))
+		case *Histogram:
+			s := v.Snapshot()
+			fmt.Fprintf(&b, "# TYPE %s summary\n", en)
+			for _, q := range []struct {
+				label string
+				d     float64
+			}{
+				{`quantile="0.5"`, s.P50.Seconds()},
+				{`quantile="0.95"`, s.P95.Seconds()},
+				{`quantile="0.99"`, s.P99.Seconds()},
+			} {
+				fmt.Fprintf(&b, "%s%s %s\n", en, formatLabels(labels, q.label), formatFloat(q.d))
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", en, ls, formatFloat(s.Sum.Seconds()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", en, ls, s.Count)
+		case *TimeSeries:
+			var latest float64
+			if s, ok := v.Latest(); ok {
+				latest = s.Value
+			}
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", en)
+			fmt.Fprintf(&b, "%s%s %s\n", en, ls, formatFloat(latest))
+			fmt.Fprintf(&b, "%s_samples%s %d\n", en, ls, v.Len())
+		default:
+			fmt.Fprintf(&b, "# %s: unexposable metric type %T\n", en, m)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

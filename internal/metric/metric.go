@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -115,30 +116,46 @@ func (h *Histogram) Max() time.Duration {
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantilesLocked(q)[0]
+}
+
+// quantilesLocked computes several quantiles with a single pass (and, on
+// the exact-sample path, a single sort). Caller must hold h.mu.
+func (h *Histogram) quantilesLocked(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
 	if h.total == 0 {
-		return 0
+		return out
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
+	for i, q := range qs {
+		if q < 0 {
+			qs[i] = 0
+		}
+		if q > 1 {
+			qs[i] = 1
+		}
 	}
 	if uint64(len(h.samples)) == h.total {
 		s := append([]time.Duration(nil), h.samples...)
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		idx := int(q * float64(len(s)-1))
-		return s[idx]
-	}
-	target := uint64(q * float64(h.total))
-	var cum uint64
-	for b, c := range h.counts {
-		cum += c
-		if cum > target {
-			return bucketUpper(b)
+		for i, q := range qs {
+			out[i] = s[int(q*float64(len(s)-1))]
 		}
+		return out
 	}
-	return h.max
+	for i, q := range qs {
+		target := uint64(q * float64(h.total))
+		var cum uint64
+		v := h.max
+		for b, c := range h.counts {
+			cum += c
+			if cum > target {
+				v = bucketUpper(b)
+				break
+			}
+		}
+		out[i] = v
+	}
+	return out
 }
 
 // P50 is shorthand for Quantile(0.50).
@@ -147,21 +164,32 @@ func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
 // P99 is shorthand for Quantile(0.99).
 func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
 
-// Snapshot returns a point-in-time summary of the histogram.
+// Snapshot returns a point-in-time summary of the histogram. The whole
+// summary is computed under a single acquisition of the lock, so it is
+// internally consistent even under concurrent Record calls.
 func (h *Histogram) Snapshot() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var mean time.Duration
+	if h.total > 0 {
+		mean = h.sum / time.Duration(h.total)
+	}
+	quants := h.quantilesLocked(0.50, 0.95, 0.99)
 	return Summary{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-		Max:   h.Max(),
+		Count: h.total,
+		Sum:   h.sum,
+		Mean:  mean,
+		P50:   quants[0],
+		P95:   quants[1],
+		P99:   quants[2],
+		Max:   h.max,
 	}
 }
 
 // Summary is a point-in-time latency summary.
 type Summary struct {
 	Count uint64
+	Sum   time.Duration
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
@@ -176,9 +204,10 @@ func (s Summary) String() string {
 }
 
 // Counter is a monotonically increasing counter safe for concurrent use.
+// It sits on the per-request hot path (every span start/finish bumps
+// one), so it is lock-free.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Inc adds delta (which must be non-negative) to the counter.
@@ -186,41 +215,37 @@ func (c *Counter) Inc(delta int64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.Add(delta)
 }
 
 // Value returns the current count.
 func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a concurrent float64 gauge.
+// Gauge is a concurrent float64 gauge, stored lock-free as IEEE-754
+// bits.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add adds delta to the gauge.
 func (g *Gauge) Add(delta float64) {
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }

@@ -1,0 +1,80 @@
+package metric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesWindowBoundaries(t *testing.T) {
+	ts := NewTimeSeries(0)
+	base := time.Unix(100, 0)
+	ts.Add(base, 1)                      // exactly now-window: excluded
+	ts.Add(base.Add(time.Second), 2)     // inside
+	ts.Add(base.Add(5*time.Second), 3)   // exactly now: included
+	ts.Add(base.Add(6*time.Second), 100) // after now: excluded
+
+	now := base.Add(5 * time.Second)
+	// The window is the half-open interval (now-window, now].
+	if got := ts.WindowAvg(now, 5*time.Second); got != 2.5 {
+		t.Fatalf("WindowAvg = %f, want 2.5 (boundary sample at now-window must be excluded, at now included)", got)
+	}
+	if got := ts.WindowMax(now, 5*time.Second); got != 3 {
+		t.Fatalf("WindowMax = %f, want 3 (sample after now must be excluded)", got)
+	}
+}
+
+func TestTimeSeriesWindowMaxNegativeValues(t *testing.T) {
+	ts := NewTimeSeries(0)
+	base := time.Unix(0, 0)
+	ts.Add(base.Add(time.Second), -5)
+	ts.Add(base.Add(2*time.Second), -2)
+	// All values negative: the max is the least negative, not the zero
+	// "no samples" sentinel.
+	if got := ts.WindowMax(base.Add(2*time.Second), 5*time.Second); got != -2 {
+		t.Fatalf("WindowMax = %f, want -2", got)
+	}
+}
+
+func TestTimeSeriesZeroRetentionKeepsEverything(t *testing.T) {
+	ts := NewTimeSeries(0)
+	base := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		ts.Add(base.Add(time.Duration(i)*time.Hour), float64(i))
+	}
+	if ts.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000 (zero retention must keep all samples)", ts.Len())
+	}
+}
+
+func TestTimeSeriesRetentionRelativeToNewest(t *testing.T) {
+	ts := NewTimeSeries(time.Minute)
+	base := time.Unix(0, 0)
+	ts.Add(base, 1)
+	ts.Add(base.Add(30*time.Second), 2)
+	// Both within a minute of the newest sample.
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ts.Len())
+	}
+	// A sample two minutes later evicts both earlier ones.
+	ts.Add(base.Add(150*time.Second), 3)
+	samples := ts.Samples()
+	if len(samples) != 1 || samples[0].Value != 3 {
+		t.Fatalf("samples after trim = %+v, want only the newest", samples)
+	}
+}
+
+func TestTimeSeriesSamplesInsertionOrder(t *testing.T) {
+	ts := NewTimeSeries(0)
+	base := time.Unix(0, 0)
+	ts.Add(base.Add(2*time.Second), 2)
+	ts.Add(base.Add(1*time.Second), 1) // out of order, still accepted
+	ts.Add(base.Add(3*time.Second), 3)
+	got := ts.Samples()
+	if len(got) != 3 || got[0].Value != 2 || got[1].Value != 1 || got[2].Value != 3 {
+		t.Fatalf("Samples() = %+v, want insertion order 2,1,3", got)
+	}
+	latest, ok := ts.Latest()
+	if !ok || latest.Value != 3 {
+		t.Fatalf("Latest = %+v ok=%v, want the last-added sample", latest, ok)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"crdbserverless/internal/server"
 	"crdbserverless/internal/tenantcost"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // PodState tracks a pod through its lifecycle.
@@ -104,6 +105,9 @@ type Config struct {
 	// RevivalSecret for session migration.
 	RevivalSecret []byte
 	Colocated     bool
+	// Tracer is handed to each SQL node so request traces propagated by
+	// the proxy continue through statement execution.
+	Tracer *trace.Tracer
 }
 
 // Orchestrator manages the pod fleet for one region.
@@ -188,6 +192,7 @@ func (o *Orchestrator) createPod() (*Pod, error) {
 		Clock:         o.cfg.Clock,
 		RevivalSecret: o.cfg.RevivalSecret,
 		Colocated:     o.cfg.Colocated,
+		Tracer:        o.cfg.Tracer,
 	})
 	pod := &Pod{Node: node, state: PodWarm}
 	o.podsCreated.Inc(1)
@@ -217,6 +222,9 @@ func (o *Orchestrator) PodsForTenant(name string) []*Pod {
 // reused first (§4.2.3: "draining nodes are reused before pre-warmed ones"),
 // then warm pods, then a cold-created pod.
 func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, error) {
+	ctx, sp := trace.StartSpan(ctx, "orchestrator.assign_pod")
+	defer sp.Finish()
+	sp.SetAttr("orchestrator.tenant", t.Name)
 	o.mu.Lock()
 	if o.mu.closed {
 		o.mu.Unlock()
@@ -230,6 +238,7 @@ func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, err
 			p.Node.Undrain()
 			p.mu.Unlock()
 			o.mu.Unlock()
+			sp.Eventf("reused draining pod %d", p.Node.InstanceID())
 			return p, nil
 		}
 		p.mu.Unlock()
@@ -243,6 +252,7 @@ func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, err
 	o.mu.Unlock()
 
 	if pod == nil {
+		sp.Eventf("warm pool empty: creating pod cold")
 		var err error
 		pod, err = o.createPod()
 		if err != nil {
@@ -251,6 +261,8 @@ func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, err
 		o.mu.Lock()
 		o.mu.all = append(o.mu.all, pod)
 		o.mu.Unlock()
+	} else {
+		sp.Eventf("pulled warm pod %d", pod.Node.InstanceID())
 	}
 	// Unoptimized flow: the process starts only now.
 	if !o.cfg.PreStartProcess {
@@ -259,9 +271,12 @@ func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, err
 		}
 	}
 	// Stamp with the tenant (the "certificates arrive" moment).
-	if err := pod.Node.AssignTenant(ctx, t); err != nil {
+	certCtx, certSp := trace.StartSpan(ctx, "orchestrator.cert_issue")
+	if err := pod.Node.AssignTenant(certCtx, t); err != nil {
+		certSp.Finish()
 		return nil, err
 	}
+	certSp.Finish()
 	pod.mu.Lock()
 	pod.state = PodAssigned
 	pod.tenant = t.Name
@@ -385,6 +400,7 @@ func (o *Orchestrator) Lookup(ctx context.Context, tenantName string) ([]proxy.B
 		return nil, core.ErrTenantDropped
 	}
 	if t.State == core.StateSuspended {
+		trace.SpanFromContext(ctx).Eventf("cold resume: tenant %s was scaled to zero", tenantName)
 		if err := o.cfg.Registry.Resume(ctx, tenantName); err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"crdbserverless/internal/trace"
 	"crdbserverless/internal/wire"
 )
 
@@ -20,6 +21,8 @@ type proxiedConn struct {
 	tenantName string
 	origin     string
 	startup    wire.Startup
+	// span is the connection's root trace span (nil when tracing is off).
+	span *trace.Span
 
 	mu      sync.Mutex
 	backend net.Conn
@@ -138,13 +141,32 @@ func (pc *proxiedConn) relay() {
 	}
 }
 
-// exchange forwards one request and pumps its response back.
+// exchange forwards one request and pumps its response back. On a traced
+// connection, queries are decoded, stamped with a fresh exchange span's
+// IDs, and re-encoded, so the SQL node continues the trace under it.
 func (pc *proxiedConn) exchange(fr frame) error {
 	pc.mu.Lock()
 	backend := pc.backend
 	pc.mu.Unlock()
 	if backend == nil {
 		return errors.New("proxy: no backend")
+	}
+	if fr.typ == wire.MsgQuery && pc.span != nil {
+		var q wire.Query
+		if err := wire.Decode(fr.payload, &q); err == nil {
+			sp := pc.span.StartChild("proxy.exchange")
+			defer sp.Finish()
+			q.TraceID = sp.TraceID()
+			q.SpanID = sp.SpanID()
+			if err := wire.WriteMessage(backend, wire.MsgQuery, &q); err != nil {
+				return err
+			}
+			typ, payload, err := wire.ReadMessage(backend)
+			if err != nil {
+				return err
+			}
+			return writeRaw(pc.client, typ, payload)
+		}
 	}
 	if err := writeRaw(backend, fr.typ, fr.payload); err != nil {
 		return err
@@ -170,7 +192,20 @@ func (pc *proxiedConn) migrate(toAddr string) error {
 	if oldAddr == toAddr {
 		return nil
 	}
+	sp := pc.span.StartChild("proxy.migrate")
+	defer sp.Finish()
+	sp.SetAttr("proxy.from", oldAddr)
+	sp.SetAttr("proxy.to", toAddr)
+	err := pc.runMigration(sp, old, oldAddr, toAddr)
+	if err != nil {
+		sp.Eventf("migration failed: %v", err)
+	}
+	return err
+}
 
+// runMigration performs the three-step migration handshake, recording
+// each step on sp.
+func (pc *proxiedConn) runMigration(sp *trace.Span, old net.Conn, oldAddr, toAddr string) error {
 	// 1. Capture the session. The node refuses if the session is not idle
 	// (open transaction), in which case we simply don't migrate now.
 	if err := wire.WriteMessage(old, wire.MsgSerialize, &wire.Serialize{}); err != nil {
@@ -187,6 +222,7 @@ func (pc *proxiedConn) migrate(toAddr string) error {
 	if ser.Err != "" {
 		return errors.New(ser.Err)
 	}
+	sp.Eventf("session serialized on %s (%d bytes)", oldAddr, len(ser.Data))
 
 	// 2. Restore on the new node using the revival token inside the blob —
 	// no client re-authentication.
@@ -208,6 +244,7 @@ func (pc *proxiedConn) migrate(toAddr string) error {
 		conn.Close()
 		return fmt.Errorf("proxy: restore rejected: %s", auth.Msg)
 	}
+	sp.Eventf("session restored on %s", toAddr)
 
 	// 3. Swap.
 	pc.mu.Lock()

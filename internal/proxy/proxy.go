@@ -15,6 +15,7 @@ import (
 
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 	"crdbserverless/internal/wire"
 )
 
@@ -46,6 +47,11 @@ type Config struct {
 	// admits everyone not denied; deny wins over allow.
 	AllowList []string
 	DenyList  []string
+	// Tracer, when non-nil, records a root span per proxied connection
+	// (with routing, per-exchange, and migration child spans) and stamps
+	// each forwarded query with trace IDs so the SQL node continues the
+	// trace.
+	Tracer *trace.Tracer
 }
 
 // Proxy is a running proxy server.
@@ -281,16 +287,31 @@ func (p *Proxy) handleConn(client net.Conn) {
 	}
 
 	ctx := context.Background()
-	backends, err := p.cfg.Directory.Lookup(ctx, tenantName)
+	var span *trace.Span
+	if p.cfg.Tracer != nil {
+		span = p.cfg.Tracer.StartRoot("proxy.conn")
+		defer span.Finish()
+		span.SetAttr("proxy.tenant", tenantName)
+		span.SetAttr("proxy.origin", origin)
+		ctx = trace.ContextWithSpan(ctx, span)
+	}
+	// Routing — for a suspended tenant this is the cold-start path, and
+	// the orchestrator's pod-assignment work nests under proxy.route.
+	rctx, routeSp := trace.StartSpan(ctx, "proxy.route")
+	backends, err := p.cfg.Directory.Lookup(rctx, tenantName)
 	if err != nil {
+		routeSp.Finish()
 		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: err.Error()})
 		return
 	}
 	backend, err := p.pickBackend(backends)
 	if err != nil {
+		routeSp.Finish()
 		wire.WriteMessage(client, wire.MsgAuth, &wire.Auth{OK: false, Msg: err.Error()})
 		return
 	}
+	routeSp.SetAttr("proxy.backend", backend.Addr)
+	routeSp.Finish()
 
 	pc := &proxiedConn{
 		proxy:      p,
@@ -298,6 +319,7 @@ func (p *Proxy) handleConn(client net.Conn) {
 		tenantName: tenantName,
 		origin:     origin,
 		startup:    startup,
+		span:       span,
 		migrateCh:  make(chan string, 1),
 		closedCh:   make(chan struct{}),
 	}

@@ -15,6 +15,7 @@ import (
 	"crdbserverless/internal/sql"
 	"crdbserverless/internal/tenantcost"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 	"crdbserverless/internal/txn"
 	"crdbserverless/internal/wire"
 )
@@ -37,6 +38,9 @@ type SQLNodeConfig struct {
 	Clock     timeutil.Clock
 	// Addr is the TCP address to listen on; defaults to 127.0.0.1:0.
 	Addr string
+	// Tracer, when non-nil, continues request traces propagated by the
+	// proxy (wire.Query trace IDs) through statement execution.
+	Tracer *trace.Tracer
 }
 
 // SQLNode is one tenant's SQL process. It follows the optimized cold-start
@@ -427,7 +431,15 @@ func (n *SQLNode) serveSession(conn net.Conn, st *connState) {
 			if err := wire.Decode(payload, &q); err != nil {
 				return
 			}
-			res, qerr := st.session.Execute(ctx, q.SQL, q.Args...)
+			qctx := ctx
+			var qsp *trace.Span
+			if n.cfg.Tracer != nil && q.TraceID != 0 {
+				qsp = n.cfg.Tracer.StartRemote(q.TraceID, q.SpanID, "sqlnode.query")
+				qsp.SetAttr("sqlnode.instance", n.cfg.InstanceID)
+				qctx = trace.ContextWithSpan(qctx, qsp)
+			}
+			res, qerr := st.session.Execute(qctx, q.SQL, q.Args...)
+			qsp.Finish()
 			n.mu.Lock()
 			n.mu.queries++
 			n.mu.Unlock()

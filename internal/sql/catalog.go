@@ -127,7 +127,7 @@ func (c *Catalog) CreateTable(ctx context.Context, stmt *CreateTable) (*TableDes
 		}
 		desc.PrimaryKey = append(desc.PrimaryKey, i)
 	}
-	err := c.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := c.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		// Name must be free.
 		if _, ok, err := t.Get(ctx, descriptorKey(c.tenant, stmt.Name)); err != nil {
 			return err
@@ -181,7 +181,7 @@ func (c *Catalog) writeDescriptor(ctx context.Context, t *txn.Txn, desc *TableDe
 // is the executor's job (see Executor.createIndex).
 func (c *Catalog) CreateIndex(ctx context.Context, table string, idx IndexDescriptor) (*TableDescriptor, error) {
 	var updated *TableDescriptor
-	err := c.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := c.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		desc, err := c.readDescriptor(ctx, t, table)
 		if err != nil {
 			return err
@@ -207,7 +207,7 @@ func (c *Catalog) CreateIndex(ctx context.Context, table string, idx IndexDescri
 // DropTable removes the descriptor. Row data is deleted by the executor.
 func (c *Catalog) DropTable(ctx context.Context, name string) (*TableDescriptor, error) {
 	var dropped *TableDescriptor
-	err := c.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := c.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		desc, err := c.readDescriptor(ctx, t, name)
 		if err != nil {
 			return err
@@ -233,7 +233,7 @@ func (c *Catalog) Lookup(ctx context.Context, name string) (*TableDescriptor, er
 	}
 	c.mu.Unlock()
 	var desc *TableDescriptor
-	err := c.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := c.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		d, err := c.readDescriptor(ctx, t, name)
 		if err != nil {
 			return err
@@ -264,7 +264,7 @@ func (c *Catalog) List(ctx context.Context) ([]string, error) {
 	prefix := keys.MakeTableIndexPrefix(c.tenant, DescriptorTableID, keys.PrimaryIndexID)
 	span := keys.Span{Key: prefix, EndKey: prefix.PrefixEnd()}
 	var names []string
-	err := c.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := c.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		names = names[:0]
 		rows, err := t.Scan(ctx, span, 0)
 		if err != nil {

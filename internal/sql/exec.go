@@ -9,6 +9,7 @@ import (
 
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/trace"
 	"crdbserverless/internal/txn"
 )
 
@@ -102,6 +103,9 @@ func (e *Executor) chargeUnmarshal(bytes int64) {
 // ExecuteStmt runs a parsed statement. When tx is nil the statement runs in
 // its own (retried) implicit transaction; otherwise it joins tx.
 func (e *Executor) ExecuteStmt(ctx context.Context, stmt Statement, args []Datum, tx *txn.Txn) (*Result, error) {
+	ctx, sp := trace.StartSpan(ctx, "sql.exec")
+	defer sp.Finish()
+	sp.SetAttr("sql.stmt", strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sql."))
 	switch s := stmt.(type) {
 	case *CreateTable:
 		if _, err := e.catalog.CreateTable(ctx, s); err != nil {
@@ -123,19 +127,19 @@ func (e *Executor) ExecuteStmt(ctx context.Context, stmt Statement, args []Datum
 		}
 		return res, nil
 	case *Insert:
-		return e.runMaybeTxn(ctx, tx, func(t *txn.Txn) (*Result, error) {
+		return e.runMaybeTxn(ctx, tx, func(ctx context.Context, t *txn.Txn) (*Result, error) {
 			return e.insert(ctx, t, s, args)
 		})
 	case *Select:
-		return e.runMaybeTxn(ctx, tx, func(t *txn.Txn) (*Result, error) {
+		return e.runMaybeTxn(ctx, tx, func(ctx context.Context, t *txn.Txn) (*Result, error) {
 			return e.selectStmt(ctx, t, s, args)
 		})
 	case *Update:
-		return e.runMaybeTxn(ctx, tx, func(t *txn.Txn) (*Result, error) {
+		return e.runMaybeTxn(ctx, tx, func(ctx context.Context, t *txn.Txn) (*Result, error) {
 			return e.update(ctx, t, s, args)
 		})
 	case *Delete:
-		return e.runMaybeTxn(ctx, tx, func(t *txn.Txn) (*Result, error) {
+		return e.runMaybeTxn(ctx, tx, func(ctx context.Context, t *txn.Txn) (*Result, error) {
 			return e.delete(ctx, t, s, args)
 		})
 	default:
@@ -144,14 +148,14 @@ func (e *Executor) ExecuteStmt(ctx context.Context, stmt Statement, args []Datum
 }
 
 // runMaybeTxn executes fn in tx, or in a fresh retried implicit transaction.
-func (e *Executor) runMaybeTxn(ctx context.Context, tx *txn.Txn, fn func(*txn.Txn) (*Result, error)) (*Result, error) {
+func (e *Executor) runMaybeTxn(ctx context.Context, tx *txn.Txn, fn func(context.Context, *txn.Txn) (*Result, error)) (*Result, error) {
 	if tx != nil {
-		return fn(tx)
+		return fn(ctx, tx)
 	}
 	var res *Result
-	err := e.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := e.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		var err error
-		res, err = fn(t)
+		res, err = fn(ctx, t)
 		return err
 	})
 	return res, err
@@ -601,7 +605,7 @@ func (e *Executor) createIndex(ctx context.Context, s *CreateIndex) (*Result, er
 	}
 	// Backfill existing rows.
 	newIdx := &updated.Indexes[len(updated.Indexes)-1]
-	err = e.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err = e.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		kvs, err := e.scanSpan(ctx, t, tableSpan(e.tenant, updated))
 		if err != nil {
 			return err
@@ -635,7 +639,7 @@ func (e *Executor) dropTable(ctx context.Context, s *DropTable) (*Result, error)
 	// Delete all table data (every index) in one ranged delete.
 	prefix := keys.MakeTenantPrefix(e.tenant)
 	prefix = keys.EncodeUint64(prefix, uint64(desc.ID))
-	err = e.coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err = e.coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		_, err := t.Send(ctx, kvpb.Request{
 			Method: kvpb.DeleteRange, Key: prefix, EndKey: prefix.PrefixEnd(),
 		})

@@ -67,7 +67,7 @@ func instanceKey(tenant keys.TenantID, r region.Region, id int64) keys.Key {
 // of the blocking startup writes whose latency the REGIONAL BY ROW locality
 // keeps local (§3.2.5).
 func RegisterInstance(ctx context.Context, coord *txn.Coordinator, tenant keys.TenantID, inst SQLInstance) error {
-	return coord.RunTxn(ctx, func(t *txn.Txn) error {
+	return coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		return t.Put(ctx, instanceKey(tenant, inst.Region, inst.ID),
 			[]byte(fmt.Sprintf("%s|%s", inst.Region, inst.Addr)))
 	})
@@ -75,7 +75,7 @@ func RegisterInstance(ctx context.Context, coord *txn.Coordinator, tenant keys.T
 
 // UnregisterInstance removes a SQL node's registration at shutdown.
 func UnregisterInstance(ctx context.Context, coord *txn.Coordinator, tenant keys.TenantID, r region.Region, id int64) error {
-	return coord.RunTxn(ctx, func(t *txn.Txn) error {
+	return coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		return t.Delete(ctx, instanceKey(tenant, r, id))
 	})
 }
@@ -84,7 +84,7 @@ func UnregisterInstance(ctx context.Context, coord *txn.Coordinator, tenant keys
 func ListInstances(ctx context.Context, coord *txn.Coordinator, tenant keys.TenantID) ([]SQLInstance, error) {
 	span := keys.MakeTableIndexSpan(tenant, SQLInstancesTableID, keys.PrimaryIndexID)
 	var out []SQLInstance
-	err := coord.RunTxn(ctx, func(t *txn.Txn) error {
+	err := coord.RunTxn(ctx, func(ctx context.Context, t *txn.Txn) error {
 		out = out[:0]
 		rows, err := t.Scan(ctx, span, 0)
 		if err != nil {

@@ -17,6 +17,7 @@ import (
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
 	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/trace"
 )
 
 // Sender abstracts the KV entry point (a DistSender in production wiring).
@@ -173,6 +174,7 @@ func (t *Txn) finish(ctx context.Context, commit bool) error {
 	if len(intents) == 0 {
 		return nil
 	}
+	trace.SpanFromContext(ctx).Eventf("resolve %d intents txn=%d commit=%v", len(intents), t.meta.ID, commit)
 	reqs := make([]kvpb.Request, 0, len(intents))
 	for _, k := range intents {
 		reqs = append(reqs, kvpb.Request{
@@ -200,23 +202,36 @@ func (t *Txn) finish(ctx context.Context, commit bool) error {
 
 // RunTxn executes fn inside a transaction, retrying it from scratch on
 // retriable errors (write conflicts, redirects). fn must be idempotent up to
-// its writes: each retry begins a fresh transaction.
-func (c *Coordinator) RunTxn(ctx context.Context, fn func(*Txn) error) error {
+// its writes: each retry begins a fresh transaction. fn receives a context
+// carrying the coordinator's txn.run span, so work done inside the
+// transaction nests under it in the request trace.
+func (c *Coordinator) RunTxn(ctx context.Context, fn func(context.Context, *Txn) error) error {
+	ctx, sp := trace.StartSpan(ctx, "txn.run")
+	defer sp.Finish()
 	const maxAttempts = 256
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		t := c.Begin()
-		err := fn(t)
+		if attempt == 0 {
+			sp.SetAttr("txn.id", t.meta.ID)
+		}
+		sp.Eventf("begin txn=%d ts=%v attempt=%d", t.meta.ID, t.meta.Ts, attempt)
+		err := fn(ctx, t)
 		if err == nil {
 			err = t.Commit(ctx)
 		}
 		if err == nil {
+			sp.Eventf("commit txn=%d", t.meta.ID)
+			sp.SetAttr("txn.attempts", attempt+1)
 			return nil
 		}
 		_ = t.Abort(ctx)
 		if !kvpb.IsRetriable(err) {
+			sp.Eventf("abort txn=%d: %v", t.meta.ID, err)
+			sp.SetAttr("txn.attempts", attempt+1)
 			return err
 		}
+		sp.Eventf("retry attempt=%d: %v", attempt+1, err)
 		lastErr = err
 		// Advance our clock reading past the conflict so the next attempt
 		// starts above it.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,8 @@ import (
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
 	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 func newTestSetup(t *testing.T) (*kvserver.Cluster, *Coordinator) {
@@ -130,7 +133,7 @@ func TestRunTxnRetriesConflicts(t *testing.T) {
 	ctx := context.Background()
 
 	// Seed a counter.
-	if err := coord.RunTxn(ctx, func(tx *Txn) error {
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		return tx.Put(ctx, k("counter"), []byte{0})
 	}); err != nil {
 		t.Fatal(err)
@@ -147,7 +150,7 @@ func TestRunTxnRetriesConflicts(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				err := coord.RunTxn(ctx, func(tx *Txn) error {
+				err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 					v, _, err := tx.Get(ctx, k("counter"))
 					if err != nil {
 						return err
@@ -167,7 +170,7 @@ func TestRunTxnRetriesConflicts(t *testing.T) {
 		t.Fatal(err)
 	}
 	var final byte
-	if err := coord.RunTxn(ctx, func(tx *Txn) error {
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		v, _, err := tx.Get(ctx, k("counter"))
 		if err == nil {
 			final = v[0]
@@ -184,7 +187,7 @@ func TestRunTxnRetriesConflicts(t *testing.T) {
 func TestRunTxnNonRetriableErrorSurfaces(t *testing.T) {
 	_, coord := newTestSetup(t)
 	sentinel := errors.New("application error")
-	err := coord.RunTxn(context.Background(), func(tx *Txn) error { return sentinel })
+	err := coord.RunTxn(context.Background(), func(ctx context.Context, tx *Txn) error { return sentinel })
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
@@ -194,12 +197,12 @@ func TestRunTxnAbortsOnError(t *testing.T) {
 	_, coord := newTestSetup(t)
 	ctx := context.Background()
 	sentinel := errors.New("fail after write")
-	coord.RunTxn(ctx, func(tx *Txn) error {
+	coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		tx.Put(ctx, k("x"), []byte("v"))
 		return sentinel
 	})
 	// The intent must be gone: a read succeeds and finds nothing.
-	if err := coord.RunTxn(ctx, func(tx *Txn) error {
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		_, ok, err := tx.Get(ctx, k("x"))
 		if err != nil {
 			return err
@@ -229,11 +232,11 @@ func TestTxnIDsUnique(t *testing.T) {
 func TestTxnDeleteCommit(t *testing.T) {
 	_, coord := newTestSetup(t)
 	ctx := context.Background()
-	coord.RunTxn(ctx, func(tx *Txn) error { return tx.Put(ctx, k("d"), []byte("v")) })
-	if err := coord.RunTxn(ctx, func(tx *Txn) error { return tx.Delete(ctx, k("d")) }); err != nil {
+	coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error { return tx.Put(ctx, k("d"), []byte("v")) })
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error { return tx.Delete(ctx, k("d")) }); err != nil {
 		t.Fatal(err)
 	}
-	coord.RunTxn(ctx, func(tx *Txn) error {
+	coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		_, ok, err := tx.Get(ctx, k("d"))
 		if err != nil {
 			return err
@@ -252,7 +255,7 @@ func TestNoLostUpdateUnderConcurrency(t *testing.T) {
 	// and silently lose an update.
 	_, coord := newTestSetup(t)
 	ctx := context.Background()
-	if err := coord.RunTxn(ctx, func(tx *Txn) error {
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		if err := tx.Put(ctx, k("acct-a"), []byte{100}); err != nil {
 			return err
 		}
@@ -273,7 +276,7 @@ func TestNoLostUpdateUnderConcurrency(t *testing.T) {
 				src, dst = dst, src
 			}
 			for i := 0; i < transfers; i++ {
-				err := coord.RunTxn(ctx, func(tx *Txn) error {
+				err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 					sv, _, err := tx.Get(ctx, src)
 					if err != nil {
 						return err
@@ -303,7 +306,7 @@ func TestNoLostUpdateUnderConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 	var total int
-	if err := coord.RunTxn(ctx, func(tx *Txn) error {
+	if err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
 		a, _, err := tx.Get(ctx, k("acct-a"))
 		if err != nil {
 			return err
@@ -319,5 +322,51 @@ func TestNoLostUpdateUnderConcurrency(t *testing.T) {
 	}
 	if total != 200 {
 		t.Fatalf("invariant violated: total = %d, want 200 (lost update)", total)
+	}
+}
+
+func TestRunTxnRetryAppearsAsSpanEvent(t *testing.T) {
+	_, coord := newTestSetup(t)
+	tr := trace.New(trace.Options{Clock: timeutil.NewRealClock(), Seed: 1})
+	root := tr.StartRoot("test")
+	ctx := trace.ContextWithSpan(context.Background(), root)
+
+	attempts := 0
+	err := coord.RunTxn(ctx, func(ctx context.Context, tx *Txn) error {
+		attempts++
+		if attempts == 1 {
+			return &kvpb.WriteTooOldError{}
+		}
+		return tx.Put(ctx, k("retry-key"), []byte("v"))
+	})
+	root.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	children := root.Children()
+	if len(children) == 0 || children[0].Op() != "txn.run" {
+		t.Fatalf("txn.run span missing under root: %+v", children)
+	}
+	sp := children[0]
+	var sawRetry, sawCommit bool
+	for _, ev := range sp.Events() {
+		if strings.Contains(ev.Msg, "retry attempt=1") {
+			sawRetry = true
+		}
+		if strings.HasPrefix(ev.Msg, "commit txn=") {
+			sawCommit = true
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("no retry event on txn.run span; events = %+v", sp.Events())
+	}
+	if !sawCommit {
+		t.Fatalf("no commit event on txn.run span; events = %+v", sp.Events())
+	}
+	if v, ok := sp.Attr("txn.attempts"); !ok || v.(int) != 2 {
+		t.Fatalf("txn.attempts attr = %v ok=%v, want 2", v, ok)
 	}
 }

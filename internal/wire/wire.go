@@ -59,6 +59,11 @@ type Auth struct {
 type Query struct {
 	SQL  string
 	Args []sql.Datum
+	// TraceID/SpanID propagate the request trace across the hop from the
+	// proxy to the SQL node: the proxy stamps its exchange span here and
+	// the node continues the trace under it. Zero means untraced.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Result is a statement outcome.
