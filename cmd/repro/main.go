@@ -9,10 +9,12 @@
 //	repro -list
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, table1 (also
-// emits fig12+fig13), tracez, fig11, pushdown, kvscaling, ablations.
+// emits fig12+fig13), kvbench (also writes BENCH_kv.json), tracez, fig11,
+// pushdown, kvscaling, ablations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -153,6 +155,23 @@ func buildExperiments(quick bool) []experiment {
 				fmt.Println()
 				fmt.Print(experiments.Fig13Table(cfg, res.Timelines[cfg]))
 			}
+			return nil
+		}},
+		{"kvbench", "KV hot path: parallel fan-out speedup + LSM probe reduction; writes BENCH_kv.json", func() error {
+			res, table, err := experiments.KVBench(experiments.KVBenchOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Print(table)
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile("BENCH_kv.json", data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote BENCH_kv.json")
 			return nil
 		}},
 		{"tracez", "observability: end-to-end request traces and the debug surfaces", func() error {

@@ -164,7 +164,11 @@ func New(opts Options) (*Serverless, error) {
 		SlowThreshold: opts.SlowSpanThreshold,
 	})
 
-	// The shared KV cluster spans all regions.
+	// The shared KV cluster spans all regions. Every node's engine shares
+	// one set of read-path counters on the deployment registry: the
+	// lsm.reads / lsm.bloom.filtered / lsm.tables.probed exposition is
+	// cluster-wide, matching how the trace.* counters are aggregated.
+	lsmReadMetrics := lsm.NewReadMetrics(s.metrics)
 	var nodes []*kvserver.Node
 	id := kvserver.NodeID(1)
 	for _, r := range opts.Regions {
@@ -175,7 +179,7 @@ func New(opts Options) (*Serverless, error) {
 				Region:           string(r),
 				Clock:            opts.Clock,
 				Cost:             cost,
-				LSM:              lsm.Options{Tracer: s.tracer},
+				LSM:              lsm.Options{Tracer: s.tracer, ReadMetrics: lsmReadMetrics},
 				AdmissionEnabled: opts.AdmissionControl,
 			}))
 			id++

@@ -16,9 +16,22 @@ import (
 // by META lookups — which tolerate staleness, like the follower reads of
 // §3.2.5 — and repairs the cache on NotLeaseholder / RangeKeyMismatch
 // redirects.
+//
+// Send dispatches the per-range sub-batches of a multi-range batch
+// concurrently on a bounded worker pool (production CRDB's per-range RPC
+// fan-out), merging responses back into request order. Parallel dispatch
+// preserves trace determinism: each sub-batch runs under a forked child
+// span whose ID stream is drawn from the seeded tracer RNG in request
+// order before any goroutine launches, and branches attach to the parent
+// span in that same order, never in completion order.
 type DistSender struct {
 	cluster  *Cluster
 	identity Identity
+	// parallelism bounds concurrent sub-batch dispatch; 1 means
+	// sequential.
+	parallelism int
+	// cacheLimit caps both the descriptor cache and the lease-hint map.
+	cacheLimit int
 
 	mu struct {
 		sync.Mutex
@@ -29,9 +42,47 @@ type DistSender struct {
 	}
 }
 
-// NewDistSender returns a sender for the given identity.
-func NewDistSender(c *Cluster, id Identity) *DistSender {
-	ds := &DistSender{cluster: c, identity: id}
+// Config tunes a DistSender. The zero value means defaults everywhere.
+type Config struct {
+	// Parallelism bounds how many per-range sub-batches Send dispatches
+	// concurrently. The effective fan-out is min(Parallelism, number of
+	// ranges addressed). 0 means DefaultParallelism; 1 disables the
+	// fan-out entirely (sequential dispatch in request order).
+	Parallelism int
+	// CacheLimit caps the range-descriptor cache and the lease-hint map.
+	// Crossing the cap triggers a full reset (cheap, and correct: both
+	// structures are best-effort hints repaired by redirects). 0 means
+	// DefaultCacheLimit.
+	CacheLimit int
+}
+
+// DefaultParallelism is the default bound on concurrent per-range dispatch.
+const DefaultParallelism = 8
+
+// DefaultCacheLimit is the default cap on the descriptor cache and the
+// lease-hint map. Long-lived senders on split-heavy clusters would
+// otherwise grow those without bound.
+const DefaultCacheLimit = 512
+
+// NewDistSender returns a sender for the given identity. An optional Config
+// tunes fan-out parallelism and cache bounds.
+func NewDistSender(c *Cluster, id Identity, cfg ...Config) *DistSender {
+	var conf Config
+	if len(cfg) > 0 {
+		conf = cfg[0]
+	}
+	if conf.Parallelism <= 0 {
+		conf.Parallelism = DefaultParallelism
+	}
+	if conf.CacheLimit <= 0 {
+		conf.CacheLimit = DefaultCacheLimit
+	}
+	ds := &DistSender{
+		cluster:     c,
+		identity:    id,
+		parallelism: conf.Parallelism,
+		cacheLimit:  conf.CacheLimit,
+	}
 	ds.mu.leaseHints = make(map[RangeID]NodeID)
 	return ds
 }
@@ -39,7 +90,7 @@ func NewDistSender(c *Cluster, id Identity) *DistSender {
 // Identity returns the sender's authenticated identity.
 func (ds *DistSender) Identity() Identity { return ds.identity }
 
-// maxSendRetries bounds redirect-chasing per sub-batch.
+// maxSendRetries bounds redirect-chasing per range visited.
 const maxSendRetries = 16
 
 // Send routes and executes the batch, merging per-range responses back into
@@ -51,26 +102,89 @@ func (ds *DistSender) Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.Ba
 	if ba.Timestamp.IsEmpty() && ba.Txn == nil {
 		ba.Timestamp = ds.cluster.Clock().Now()
 	}
-	// Fast path: single range handles everything.
 	groups, err := ds.splitByRange(ba.Requests)
 	if err != nil {
 		return nil, err
 	}
 	out := &kvpb.BatchResponse{Timestamp: ba.ReadTs()}
 	responses := make([]kvpb.Response, len(ba.Requests))
+	if len(groups) > 1 && ds.parallelism > 1 {
+		sp.SetAttr("dist.ranges", len(groups))
+		err = ds.sendParallel(ctx, sp, groups, ba, responses)
+	} else {
+		err = ds.sendSequential(ctx, groups, ba, responses)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Responses = responses
+	return out, nil
+}
+
+// sendSequential dispatches the groups one at a time in request order — the
+// single-range fast path and the Parallelism<=1 configuration.
+func (ds *DistSender) sendSequential(ctx context.Context, groups []requestGroup, ba *kvpb.BatchRequest, responses []kvpb.Response) error {
 	for _, g := range groups {
 		sub := *ba
 		sub.Requests = g.requests
 		resp, err := ds.sendToRange(ctx, g.desc, &sub)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, r := range resp.Responses {
 			responses[g.indexes[i]] = r
 		}
 	}
-	out.Responses = responses
-	return out, nil
+	return nil
+}
+
+// sendParallel dispatches one goroutine per group on a bounded worker pool.
+// Trace determinism: the per-branch dist.fanout spans (and the forked ID
+// streams their descendants draw from) are created sequentially in group
+// order before any goroutine starts, and responses merge by group index —
+// completion order never leaks into the trace or the response.
+func (ds *DistSender) sendParallel(ctx context.Context, sp *trace.Span, groups []requestGroup, ba *kvpb.BatchRequest, responses []kvpb.Response) error {
+	type branch struct {
+		ctx  context.Context
+		sp   *trace.Span
+		resp *kvpb.BatchResponse
+		err  error
+	}
+	branches := make([]branch, len(groups))
+	for i := range groups {
+		bsp := sp.StartForkedChild("dist.fanout")
+		bsp.SetAttr("dist.range", groups[i].desc.RangeID)
+		branches[i] = branch{ctx: trace.ContextWithSpan(ctx, bsp), sp: bsp}
+	}
+	workers := ds.parallelism
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b := &branches[i]
+			sub := *ba
+			sub.Requests = groups[i].requests
+			b.resp, b.err = ds.sendToRange(b.ctx, groups[i].desc, &sub)
+			b.sp.Finish()
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range groups {
+		if branches[i].err != nil {
+			return branches[i].err
+		}
+		for j, r := range branches[i].resp.Responses {
+			responses[g.indexes[j]] = r
+		}
+	}
+	return nil
 }
 
 // requestGroup is a set of requests addressed to one range.
@@ -81,16 +195,40 @@ type requestGroup struct {
 }
 
 // splitByRange partitions requests by the (cached) range containing each
-// request's start key. Scans that cross range boundaries are split into
-// per-range sub-scans by sendToRange's mismatch handling.
+// request's start key. The descriptor cache is consulted once for the whole
+// batch under a single lock acquisition; only misses fall back to META via
+// lookupFresh. Scans that cross range boundaries are split into per-range
+// sub-scans by sendToRange's mismatch handling.
 func (ds *DistSender) splitByRange(reqs []kvpb.Request) ([]requestGroup, error) {
-	byRange := make(map[RangeID]*requestGroup)
-	var order []RangeID
+	descs := make([]*RangeDescriptor, len(reqs))
+	var misses []int
+	ds.mu.Lock()
 	for i, r := range reqs {
-		desc, err := ds.lookup(r.Key)
+		if d := ds.cachedDescLocked(r.Key); d != nil {
+			descs[i] = d
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	ds.mu.Unlock()
+	var last *RangeDescriptor
+	for _, i := range misses {
+		if last != nil && last.ContainsKey(reqs[i].Key) {
+			descs[i] = last
+			continue
+		}
+		d, err := ds.lookupFresh(reqs[i].Key)
 		if err != nil {
 			return nil, err
 		}
+		descs[i] = d
+		last = d
+	}
+
+	byRange := make(map[RangeID]*requestGroup)
+	var order []RangeID
+	for i, r := range reqs {
+		desc := descs[i]
 		g, ok := byRange[desc.RangeID]
 		if !ok {
 			g = &requestGroup{desc: desc}
@@ -108,62 +246,102 @@ func (ds *DistSender) splitByRange(reqs []kvpb.Request) ([]requestGroup, error) 
 }
 
 // sendToRange delivers a sub-batch to its range, chasing redirects and
-// splitting scans at range boundaries as needed.
+// splitting scans at range boundaries as needed. Cross-range continuation is
+// iterative — one segment per range visited, folded back together at the
+// end — so a scan over many ranges neither grows the stack nor interleaves
+// its trace events out of range order.
 func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
-	// Clip multi-range scans to the range and continue on the remainder.
-	for attempt := 0; attempt < maxSendRetries; attempt++ {
-		clipped, remainder := clipToRange(ba.Requests, desc.Span)
-		sub := *ba
-		sub.Requests = clipped
-		target := ds.target(desc, ba)
-		resp, err := ds.cluster.Batch(ctx, target, ds.identity, &sub)
-		if err == nil {
-			ds.noteLeaseholder(desc.RangeID, target)
-			if len(remainder) == 0 {
-				return resp, nil
-			}
-			// Continue the scan(s) on the following range(s).
-			trace.SpanFromContext(ctx).Eventf("range lookup: scan continues past r%d", desc.RangeID)
-			nextDesc, lerr := ds.lookupFresh(remainder[0].Key)
-			if lerr != nil {
-				return nil, lerr
-			}
-			rest := *ba
-			rest.Requests = remainder
-			restResp, rerr := ds.sendToRange(ctx, nextDesc, &rest)
-			if rerr != nil {
-				return nil, rerr
-			}
-			return mergeClippedResponses(ba.Requests, clipped, resp, restResp), nil
-		}
-
-		var nle *kvpb.NotLeaseholderError
-		var rkm *kvpb.RangeKeyMismatchError
-		var rnf *kvpb.RangeNotFoundError
-		switch {
-		case errors.As(err, &nle):
-			trace.SpanFromContext(ctx).Eventf(
-				"redirect: not leaseholder for r%d on n%d, leaseholder hint n%d (attempt %d)",
-				desc.RangeID, target, nle.Leaseholder, attempt+1)
-			if nle.Leaseholder != 0 {
-				ds.noteLeaseholder(desc.RangeID, nle.Leaseholder)
-			} else {
-				ds.clearLeaseHint(desc.RangeID)
-			}
-		case errors.As(err, &rkm), errors.As(err, &rnf):
-			// Stale cache: refresh from META and retry.
-			trace.SpanFromContext(ctx).Eventf("range lookup: stale descriptor for r%d (attempt %d): %v",
-				desc.RangeID, attempt+1, err)
-			fresh, lerr := ds.lookupFresh(ba.Requests[0].Key)
-			if lerr != nil {
-				return nil, lerr
-			}
-			desc = fresh
-		default:
-			return nil, err
-		}
+	// segment records one range's worth of the walk: the requests pending
+	// when the range was reached, how each was routed (sent, truncated, or
+	// deferred to the continuation), and the range's response.
+	type segment struct {
+		pending []kvpb.Request
+		clip    rangeClip
+		resp    *kvpb.BatchResponse
+		remIdx  []int
 	}
-	return nil, errRetryExhausted
+	var segs []segment
+	pending := ba.Requests
+	for {
+		var seg segment
+		seg.pending = pending
+		sent := false
+		for attempt := 0; attempt < maxSendRetries; attempt++ {
+			// Clip inside the retry loop: a stale-descriptor refresh can
+			// change the range span and with it the routing.
+			clip := clipToRange(pending, desc.Span)
+			sub := *ba
+			sub.Requests = clip.sent
+			target := ds.target(desc, ba)
+			resp, err := ds.cluster.Batch(ctx, target, ds.identity, &sub)
+			if err == nil {
+				ds.noteLeaseholder(desc.RangeID, target)
+				seg.clip = clip
+				seg.resp = resp
+				sent = true
+				break
+			}
+
+			var nle *kvpb.NotLeaseholderError
+			var rkm *kvpb.RangeKeyMismatchError
+			var rnf *kvpb.RangeNotFoundError
+			switch {
+			case errors.As(err, &nle):
+				trace.SpanFromContext(ctx).Eventf(
+					"redirect: not leaseholder for r%d on n%d, leaseholder hint n%d (attempt %d)",
+					desc.RangeID, target, nle.Leaseholder, attempt+1)
+				if nle.Leaseholder != 0 {
+					ds.noteLeaseholder(desc.RangeID, nle.Leaseholder)
+				} else {
+					ds.clearLeaseHint(desc.RangeID)
+				}
+			case errors.As(err, &rkm), errors.As(err, &rnf):
+				// Stale cache: refresh from META and retry. The fresh
+				// descriptor is guaranteed to contain pending[0], so the
+				// next attempt always sends at least one request.
+				trace.SpanFromContext(ctx).Eventf("range lookup: stale descriptor for r%d (attempt %d): %v",
+					desc.RangeID, attempt+1, err)
+				fresh, lerr := ds.lookupFresh(pending[0].Key)
+				if lerr != nil {
+					return nil, lerr
+				}
+				desc = fresh
+			default:
+				return nil, err
+			}
+		}
+		if !sent {
+			return nil, errRetryExhausted
+		}
+		remainder, remIdx := seg.clip.continuation(pending, seg.resp)
+		seg.remIdx = remIdx
+		segs = append(segs, seg)
+		if len(remainder) == 0 {
+			break
+		}
+		// Continue on the range containing the next pending request. Every
+		// iteration fully serves at least one request (or strictly advances
+		// a scan's start key past desc.Span.EndKey), so the walk terminates.
+		trace.SpanFromContext(ctx).Eventf("range lookup: batch continues past r%d", desc.RangeID)
+		nextDesc, lerr := ds.lookupFresh(remainder[0].Key)
+		if lerr != nil {
+			return nil, lerr
+		}
+		desc = nextDesc
+		pending = remainder
+	}
+
+	// Fold the per-range segments back into one response per original
+	// request, right to left: each segment merges its continuation (the
+	// already-folded tail) into its own responses. The last segment has no
+	// continuation but still needs the merge pass — a truncated scan that
+	// satisfied its limit in-range must have its resume window re-pointed
+	// at the original scan end rather than the clip end.
+	var merged *kvpb.BatchResponse
+	for i := len(segs) - 1; i >= 0; i-- {
+		merged = segs[i].clip.merge(segs[i].pending, segs[i].remIdx, segs[i].resp, merged)
+	}
+	return merged, nil
 }
 
 // target picks the node to contact: follower reads go to the first replica
@@ -185,6 +363,11 @@ func (ds *DistSender) target(desc *RangeDescriptor, ba *kvpb.BatchRequest) NodeI
 func (ds *DistSender) noteLeaseholder(id RangeID, n NodeID) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	if _, ok := ds.mu.leaseHints[id]; !ok && len(ds.mu.leaseHints) >= ds.cacheLimit {
+		// Full reset on overflow: hints are best-effort and repaired by
+		// the next NotLeaseholder redirect.
+		ds.mu.leaseHints = make(map[RangeID]NodeID)
+	}
 	ds.mu.leaseHints[id] = n
 }
 
@@ -194,18 +377,34 @@ func (ds *DistSender) clearLeaseHint(id RangeID) {
 	delete(ds.mu.leaseHints, id)
 }
 
-// lookup serves a descriptor from the cache, falling back to META.
-func (ds *DistSender) lookup(key keys.Key) (*RangeDescriptor, error) {
+// CacheSizes reports the current descriptor-cache and lease-hint entry
+// counts (tests assert the bounds hold).
+func (ds *DistSender) CacheSizes() (descriptors, leaseHints int) {
 	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.mu.cache), len(ds.mu.leaseHints)
+}
+
+// cachedDescLocked returns the cached descriptor containing key, or nil.
+// Caller holds ds.mu.
+func (ds *DistSender) cachedDescLocked(key keys.Key) *RangeDescriptor {
 	i := sort.Search(len(ds.mu.cache), func(i int) bool {
 		return key.Less(ds.mu.cache[i].Span.Key)
 	})
 	if i > 0 && ds.mu.cache[i-1].ContainsKey(key) {
-		d := ds.mu.cache[i-1]
-		ds.mu.Unlock()
+		return ds.mu.cache[i-1]
+	}
+	return nil
+}
+
+// lookup serves a descriptor from the cache, falling back to META.
+func (ds *DistSender) lookup(key keys.Key) (*RangeDescriptor, error) {
+	ds.mu.Lock()
+	d := ds.cachedDescLocked(key)
+	ds.mu.Unlock()
+	if d != nil {
 		return d, nil
 	}
-	ds.mu.Unlock()
 	return ds.lookupFresh(key)
 }
 
@@ -225,52 +424,123 @@ func (ds *DistSender) lookupFresh(key keys.Key) (*RangeDescriptor, error) {
 		}
 	}
 	kept = append(kept, desc)
+	if len(kept) > ds.cacheLimit {
+		// Full reset on overflow, retaining only the fresh entry.
+		kept = []*RangeDescriptor{desc}
+	}
 	sort.Slice(kept, func(i, j int) bool { return kept[i].Span.Key.Less(kept[j].Span.Key) })
 	ds.mu.cache = kept
 	return desc, nil
 }
 
-// clipToRange truncates requests to the range span. Point requests and
-// in-range spans pass through; scans extending beyond the range are split
-// into an in-range part and a remainder.
-func clipToRange(reqs []kvpb.Request, span keys.Span) (clipped, remainder []kvpb.Request) {
-	for _, r := range reqs {
+// rangeClip describes how one range's visit routed the pending requests. A
+// request whose start key lies inside the range is sent (a scan extending
+// past the range end is truncated at it first); a request whose start key
+// lies in some other range — possible when a stale cache grouped points
+// that a split has since scattered — is deferred wholly to the
+// continuation.
+type rangeClip struct {
+	sent []kvpb.Request
+	// sentIdx maps each pending index to its position in sent, or -1 if
+	// the request was deferred.
+	sentIdx []int
+	// truncated marks pending indexes whose scan was cut at clipEnd.
+	truncated []bool
+	// clipEnd is the range's end key, where truncated scans resume.
+	clipEnd keys.Key
+}
+
+// clipToRange routes requests for a visit to the range covering span.
+func clipToRange(reqs []kvpb.Request, span keys.Span) rangeClip {
+	c := rangeClip{
+		sentIdx:   make([]int, len(reqs)),
+		truncated: make([]bool, len(reqs)),
+		clipEnd:   span.EndKey,
+	}
+	for i, r := range reqs {
 		s := r.Span()
+		if !span.ContainsKey(s.Key) {
+			c.sentIdx[i] = -1
+			continue
+		}
 		if s.IsPoint() || !span.EndKey.Less(s.EndKey) {
-			clipped = append(clipped, r)
+			c.sentIdx[i] = len(c.sent)
+			c.sent = append(c.sent, r)
 			continue
 		}
 		head := r
 		head.EndKey = span.EndKey.Clone()
-		clipped = append(clipped, head)
-		tail := r
-		tail.Key = span.EndKey.Clone()
-		remainder = append(remainder, tail)
+		c.sentIdx[i] = len(c.sent)
+		c.sent = append(c.sent, head)
+		c.truncated[i] = true
 	}
-	return clipped, remainder
+	return c
 }
 
-// mergeClippedResponses merges the responses of a clipped scan and its
-// remainder back into one response per original request.
-func mergeClippedResponses(orig, clipped []kvpb.Request, head, rest *kvpb.BatchResponse) *kvpb.BatchResponse {
+// continuation builds the requests still pending after this range's
+// response: deferred requests pass through unchanged, and truncated scans
+// that have not yet hit their row limit resume at clipEnd with a
+// correspondingly reduced limit. remIdx maps each pending index to its
+// position in the continuation, or -1.
+func (c *rangeClip) continuation(reqs []kvpb.Request, resp *kvpb.BatchResponse) (remainder []kvpb.Request, remIdx []int) {
+	remIdx = make([]int, len(reqs))
+	for i, r := range reqs {
+		remIdx[i] = -1
+		si := c.sentIdx[i]
+		if si < 0 {
+			remIdx[i] = len(remainder)
+			remainder = append(remainder, r)
+			continue
+		}
+		if !c.truncated[i] {
+			continue
+		}
+		tail := r
+		tail.Key = c.clipEnd.Clone()
+		if r.MaxKeys > 0 {
+			got := int64(len(resp.Responses[si].Rows))
+			if got >= r.MaxKeys {
+				// Limit already satisfied inside this range; merge will
+				// surface the resume point without visiting further ranges.
+				continue
+			}
+			tail.MaxKeys = r.MaxKeys - got
+		}
+		remIdx[i] = len(remainder)
+		remainder = append(remainder, tail)
+	}
+	return remainder, remIdx
+}
+
+// merge folds the continuation's (already-merged) responses into this
+// range's responses, yielding one response per pending request.
+func (c *rangeClip) merge(reqs []kvpb.Request, remIdx []int, head, rest *kvpb.BatchResponse) *kvpb.BatchResponse {
 	out := &kvpb.BatchResponse{Timestamp: head.Timestamp}
-	restIdx := 0
-	for i := range orig {
-		r := head.Responses[i]
-		// A clipped ranged request has its continuation in rest, in order.
-		if len(orig[i].EndKey) != 0 && !orig[i].EndKey.Equal(clipped[i].EndKey) {
-			if restIdx < len(rest.Responses) {
-				cont := rest.Responses[restIdx]
-				restIdx++
-				if r.ResumeSpan == nil {
-					r.Rows = append(r.Rows, cont.Rows...)
-					r.ResumeSpan = cont.ResumeSpan
-				}
+	for i := range reqs {
+		si := c.sentIdx[i]
+		if si < 0 {
+			out.Responses = append(out.Responses, rest.Responses[remIdx[i]])
+			continue
+		}
+		r := head.Responses[si]
+		if c.truncated[i] {
+			if ri := remIdx[i]; ri >= 0 {
+				cont := rest.Responses[ri]
+				r.Rows = append(r.Rows, cont.Rows...)
+				r.ResumeSpan = cont.ResumeSpan
+			} else if r.ResumeSpan != nil {
+				// The range-local scan stopped at its limit; re-point the
+				// resume window at the original scan end, not the clip end.
+				r.ResumeSpan = &keys.Span{Key: r.ResumeSpan.Key, EndKey: reqs[i].EndKey}
+			} else {
+				// Limit satisfied exactly at the clip boundary: resume from
+				// the next range even though the server saw no overflow.
+				r.ResumeSpan = &keys.Span{Key: c.clipEnd.Clone(), EndKey: reqs[i].EndKey}
 			}
 		}
-		// Re-apply a scan's row limit across the merged parts.
-		if max := orig[i].MaxKeys; max > 0 && int64(len(r.Rows)) > max {
-			resume := keys.Span{Key: r.Rows[max].Key.Clone(), EndKey: orig[i].EndKey}
+		// Re-apply the scan's row limit across the merged parts.
+		if max := reqs[i].MaxKeys; max > 0 && int64(len(r.Rows)) > max {
+			resume := keys.Span{Key: r.Rows[max].Key.Clone(), EndKey: reqs[i].EndKey}
 			r.Rows = r.Rows[:max]
 			r.ResumeSpan = &resume
 		}

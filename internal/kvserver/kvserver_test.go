@@ -16,7 +16,7 @@ import (
 )
 
 // newTestCluster builds an n-node cluster with tiny costs so tests run fast.
-func newTestCluster(t *testing.T, n int, opts ...func(*NodeConfig)) *Cluster {
+func newTestCluster(t testing.TB, n int, opts ...func(*NodeConfig)) *Cluster {
 	t.Helper()
 	cheap := CostConfig{
 		ReadBatchOverhead:  time.Nanosecond,

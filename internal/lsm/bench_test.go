@@ -1,0 +1,73 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkKVPointReadDeepL0 measures point reads against the deep shape (a
+// 10-file L0 backlog plus populated L1-L3) with and without the bloom
+// filters and the level-bound seek.
+func BenchmarkKVPointReadDeepL0(b *testing.B) {
+	for _, mode := range []struct {
+		name         string
+		disableAccel bool
+	}{
+		{"accelerated", false},
+		{"baseline", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := buildDeepEngine(b, mode.disableAccel)
+			defer e.Close()
+			// Alternate L3 hits (worst present-key case) and misses.
+			var reads [][]byte
+			for tbl := 0; tbl < 4; tbl++ {
+				for k := 0; k < 8; k++ {
+					reads = append(reads, []byte(fmt.Sprintf("l3-%d%d", tbl, k)))
+					reads = append(reads, []byte(fmt.Sprintf("zz-%d%d", tbl, k)))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.Get(reads[i%len(reads)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKVBloomFilter measures the filter probe itself on hits and misses.
+func BenchmarkKVBloomFilter(b *testing.B) {
+	var entries []Entry
+	for i := 0; i < 4096; i++ {
+		entries = append(entries, Entry{Key: []byte(fmt.Sprintf("key-%06d", i))})
+	}
+	f := newBloomFilter(entries)
+	b.Run("hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !f.mayContain(entries[i%len(entries)].Key) {
+				b.Fatal("false negative")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		miss := []byte("absent-000000")
+		for i := 0; i < b.N; i++ {
+			f.mayContain(miss)
+		}
+	})
+}
+
+// BenchmarkKVWriteFlush measures the write path through memtable rotation.
+func BenchmarkKVWriteFlush(b *testing.B) {
+	e := New(Options{MemTableSize: 64 << 10, DisableAutoCompactions: true})
+	defer e.Close()
+	val := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Set([]byte(fmt.Sprintf("key-%09d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

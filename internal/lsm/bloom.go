@@ -1,0 +1,88 @@
+package lsm
+
+// bloomFilter is a per-sstable bloom filter consulted before a table is
+// searched: a definitive "absent" answer lets point reads skip the table's
+// binary search entirely, which is what keeps deep L0 backlogs (the read
+// amplification condition of §5.1.3) from turning every Get into
+// O(tables) probes. Pebble attaches the same structure to its sstables.
+//
+// The filter uses double hashing (Kirsch–Mitzenmacher): k probe positions
+// derived as h1 + i*h2 from two FNV-1a style hashes with distinct, fixed
+// offset bases. The hash is fully deterministic — no per-process seeding —
+// so same-seed engine runs build byte-identical filters and the simulator's
+// reproducibility guarantees hold.
+type bloomFilter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+}
+
+const (
+	// bloomBitsPerKey sizes the filter at ~10 bits per key; with
+	// bloomHashes probes that gives a ~1% false-positive rate.
+	bloomBitsPerKey = 10
+	bloomHashes     = 6
+
+	// FNV-1a parameters. The second basis is an arbitrary fixed odd
+	// constant so h1 and h2 are effectively independent.
+	fnvPrime   = 1099511628211
+	fnvOffset1 = 14695981039346656037
+	fnvOffset2 = 0x9e3779b97f4a7c15
+)
+
+// newBloomFilter builds a filter over the keys of entries. An empty table
+// gets no filter (nil filters admit everything).
+func newBloomFilter(entries []Entry) *bloomFilter {
+	if len(entries) == 0 {
+		return nil
+	}
+	nbits := uint64(len(entries)) * bloomBitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	f := &bloomFilter{
+		bits:  make([]uint64, (nbits+63)/64),
+		nbits: nbits,
+		k:     bloomHashes,
+	}
+	for _, e := range entries {
+		f.add(e.Key)
+	}
+	return f
+}
+
+// bloomHash returns the two independent hashes the probe sequence derives
+// from. The stride (h2) is forced odd so successive probes always move.
+func bloomHash(key []byte) (h1, h2 uint64) {
+	h1, h2 = fnvOffset1, fnvOffset2
+	for _, b := range key {
+		h1 = (h1 ^ uint64(b)) * fnvPrime
+		h2 = (h2 ^ uint64(b)) * fnvPrime
+	}
+	return h1, h2 | 1
+}
+
+func (f *bloomFilter) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether key may be present. False negatives are
+// impossible; false positives occur at the configured rate. A nil filter
+// admits everything.
+func (f *bloomFilter) mayContain(key []byte) bool {
+	if f == nil {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

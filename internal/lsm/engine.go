@@ -1,10 +1,13 @@
 package lsm
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
+	"crdbserverless/internal/metric"
 	"crdbserverless/internal/randutil"
 	"crdbserverless/internal/trace"
 )
@@ -27,10 +30,20 @@ type Options struct {
 	// DisableAutoCompactions turns off compaction scheduling after writes;
 	// tests use this to construct specific level shapes.
 	DisableAutoCompactions bool
+	// DisableReadAcceleration turns off the bloom-filter consult and the
+	// L1+ level-bound seek, restoring the probe-every-table read path.
+	// Benchmarks and tests use it to measure the acceleration itself.
+	DisableReadAcceleration bool
 	// Tracer, when non-nil, records background flush and compaction work
 	// as root spans (lsm.flush / lsm.compact). The engine has no clock of
 	// its own; span timestamps come from the tracer's clock.
 	Tracer *trace.Tracer
+	// ReadMetrics, when non-nil, receives the read-path counters. A
+	// deployment creates one ReadMetrics per registry and shares it across
+	// its engines (Registry panics on duplicate names, so per-engine
+	// registration is not an option). When nil the engine allocates
+	// private, unregistered counters so the Metrics snapshot still works.
+	ReadMetrics *ReadMetrics
 }
 
 func (o *Options) withDefaults() Options {
@@ -72,11 +85,50 @@ type Metrics struct {
 	// ReadAmplification is the number of sorted runs a read may consult:
 	// memtable + L0 files + one per non-empty deeper level.
 	ReadAmplification int
+	// Reads is the cumulative number of Get calls; BloomFiltered counts
+	// candidate sstables skipped by a negative bloom-filter answer, and
+	// TablesProbed counts sstables actually binary-searched. The three are
+	// drawn from the engine's ReadMetrics counters, which may be shared
+	// with other engines in the same deployment.
+	Reads         int64
+	BloomFiltered int64
+	TablesProbed  int64
+}
+
+// ReadMetrics holds the read-path counters. One instance is shared by all
+// engines registered against the same metric.Registry; see
+// Options.ReadMetrics.
+type ReadMetrics struct {
+	Reads         *metric.Counter
+	BloomFiltered *metric.Counter
+	TablesProbed  *metric.Counter
+}
+
+// NewReadMetrics registers the read-path counters on reg and returns the
+// shared instance to hand to each engine's Options.
+func NewReadMetrics(reg *metric.Registry) *ReadMetrics {
+	return &ReadMetrics{
+		Reads:         reg.NewCounter("lsm.reads"),
+		BloomFiltered: reg.NewCounter("lsm.bloom.filtered"),
+		TablesProbed:  reg.NewCounter("lsm.tables.probed"),
+	}
+}
+
+func newUnregisteredReadMetrics() *ReadMetrics {
+	return &ReadMetrics{
+		Reads:         &metric.Counter{},
+		BloomFiltered: &metric.Counter{},
+		TablesProbed:  &metric.Counter{},
+	}
 }
 
 // Engine is a single-node LSM storage engine. It is safe for concurrent use.
 type Engine struct {
 	opts Options
+
+	// readMetrics is Options.ReadMetrics or a private instance. The
+	// counters are atomic, so reads bump them under the shared RLock.
+	readMetrics *ReadMetrics
 
 	mu struct {
 		sync.RWMutex
@@ -94,6 +146,10 @@ var ErrClosed = errors.New("lsm: engine is closed")
 // New returns an empty Engine.
 func New(opts Options) *Engine {
 	e := &Engine{opts: opts.withDefaults()}
+	e.readMetrics = e.opts.ReadMetrics
+	if e.readMetrics == nil {
+		e.readMetrics = newUnregisteredReadMetrics()
+	}
 	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed))
 	e.mu.nextID = 1
 	return e
@@ -110,6 +166,10 @@ func (e *Engine) Delete(key []byte) error {
 }
 
 // ApplyBatch writes a batch of entries atomically with respect to flushes.
+// If the batch pushes the memtable past its threshold, the rotation happens
+// inside the same critical section as the writes: a concurrent writer that
+// also crossed the threshold observes the already-rotated (empty) memtable
+// instead of re-flushing it.
 func (e *Engine) ApplyBatch(entries []Entry) error {
 	e.mu.Lock()
 	if e.mu.closed {
@@ -123,11 +183,17 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 		e.mu.mem.set(ent)
 	}
 	e.mu.metrics.MemTableBytes = e.mu.mem.sizeB
-	needFlush := e.mu.mem.sizeB >= e.opts.MemTableSize
-	e.mu.Unlock()
-	if needFlush {
-		return e.Flush()
+	var sp *trace.Span
+	var flushed bool
+	if e.mu.mem.sizeB >= e.opts.MemTableSize {
+		sp, flushed = e.flushLocked()
 	}
+	auto := flushed && !e.opts.DisableAutoCompactions
+	e.mu.Unlock()
+	if auto {
+		e.maybeCompact()
+	}
+	sp.Finish()
 	return nil
 }
 
@@ -143,32 +209,62 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 	if e.mu.closed {
 		return nil, false, ErrClosed
 	}
+	e.readMetrics.Reads.Inc(1)
 	if ent, ok := e.mu.mem.get(key); ok {
-		if ent.Tombstone {
-			return nil, false, nil
-		}
-		return cloneBytes(ent.Value), true, nil
+		return entryValue(ent)
 	}
-	// L0: newest first.
+	accel := !e.opts.DisableReadAcceleration
+	// L0: newest first. Any L0 table may overlap the key, but the bloom
+	// filter lets most of a deep backlog be skipped without a search.
 	for _, t := range e.mu.levels[0] {
+		if accel && !t.filter.mayContain(key) {
+			e.readMetrics.BloomFiltered.Inc(1)
+			continue
+		}
+		e.readMetrics.TablesProbed.Inc(1)
 		if ent, ok := t.get(key); ok {
-			if ent.Tombstone {
-				return nil, false, nil
-			}
-			return cloneBytes(ent.Value), true, nil
+			return entryValue(ent)
 		}
 	}
 	for lvl := 1; lvl < numLevels; lvl++ {
-		for _, t := range e.mu.levels[lvl] {
-			if ent, ok := t.get(key); ok {
-				if ent.Tombstone {
-					return nil, false, nil
+		tables := e.mu.levels[lvl]
+		if !accel {
+			for _, t := range tables {
+				e.readMetrics.TablesProbed.Inc(1)
+				if ent, ok := t.get(key); ok {
+					return entryValue(ent)
 				}
-				return cloneBytes(ent.Value), true, nil
 			}
+			continue
+		}
+		// L1+ tables are sorted and non-overlapping: binary-search the
+		// level's maxKey bounds for the one table that can contain key.
+		i := sort.Search(len(tables), func(i int) bool {
+			return bytes.Compare(tables[i].maxKey, key) >= 0
+		})
+		if i >= len(tables) || bytes.Compare(tables[i].minKey, key) > 0 {
+			continue
+		}
+		t := tables[i]
+		if !t.filter.mayContain(key) {
+			e.readMetrics.BloomFiltered.Inc(1)
+			continue
+		}
+		e.readMetrics.TablesProbed.Inc(1)
+		if ent, ok := t.get(key); ok {
+			return entryValue(ent)
 		}
 	}
 	return nil, false, nil
+}
+
+// entryValue translates a found entry into Get's return convention (a
+// tombstone reads as not found).
+func entryValue(ent Entry) ([]byte, bool, error) {
+	if ent.Tombstone {
+		return nil, false, nil
+	}
+	return cloneBytes(ent.Value), true, nil
 }
 
 // Flush moves the active memtable into a new L0 sstable.
@@ -178,9 +274,25 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
+	sp, flushed := e.flushLocked()
+	auto := flushed && !e.opts.DisableAutoCompactions
+	e.mu.Unlock()
+	if auto {
+		e.maybeCompact()
+	}
+	sp.Finish()
+	return nil
+}
+
+// flushLocked rotates the active memtable into a new L0 sstable. The caller
+// must hold e.mu (write-locked) and is responsible for finishing the
+// returned span after releasing the lock (and after any follow-up
+// compaction, which the span's duration is meant to cover). The boolean
+// reports whether a rotation happened; the span alone can't signal that,
+// since a nil Tracer yields nil spans for real flushes.
+func (e *Engine) flushLocked() (*trace.Span, bool) {
 	if e.mu.mem.empty() {
-		e.mu.Unlock()
-		return nil
+		return nil, false
 	}
 	sp := e.opts.Tracer.StartRoot("lsm.flush")
 	entries := e.mu.mem.entries()
@@ -194,13 +306,7 @@ func (e *Engine) Flush() error {
 	e.mu.metrics.MemTableBytes = 0
 	sp.SetAttr("lsm.flushed_bytes", t.sizeB)
 	sp.SetAttr("lsm.l0_files", len(e.mu.levels[0]))
-	auto := !e.opts.DisableAutoCompactions
-	e.mu.Unlock()
-	if auto {
-		e.maybeCompact()
-	}
-	sp.Finish()
-	return nil
+	return sp, true
 }
 
 // Metrics returns a snapshot of the engine's instrumentation.
@@ -226,6 +332,9 @@ func (e *Engine) Metrics() Metrics {
 			m.ReadAmplification++
 		}
 	}
+	m.Reads = e.readMetrics.Reads.Value()
+	m.BloomFiltered = e.readMetrics.BloomFiltered.Value()
+	m.TablesProbed = e.readMetrics.TablesProbed.Value()
 	return m
 }
 

@@ -27,10 +27,11 @@ type ssTable struct {
 	sizeB   int64
 	minKey  []byte
 	maxKey  []byte
+	filter  *bloomFilter
 }
 
 func newSSTable(id uint64, entries []Entry) *ssTable {
-	t := &ssTable{id: id, entries: entries}
+	t := &ssTable{id: id, entries: entries, filter: newBloomFilter(entries)}
 	for _, e := range entries {
 		t.sizeB += e.size()
 	}

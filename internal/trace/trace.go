@@ -57,18 +57,54 @@ type Options struct {
 type Tracer struct {
 	clock    timeutil.Clock
 	recorder *Recorder
+	// ids is the root ID stream seeded by Options.Seed. Spans inherit
+	// their parent's stream, so an unforked trace draws every ID from
+	// this one stream in creation order — exactly the pre-fork behavior.
+	ids *idStream
 
 	spansStarted  *metric.Counter
 	spansFinished *metric.Counter
 
 	mu struct {
 		sync.Mutex
-		rng *rand.Rand
 		// live maps span ID → unfinished span, so a logically remote
 		// layer (the SQL node, reached over the wire) can attach child
 		// spans to the in-flight parent by ID alone.
 		live map[uint64]*Span
 	}
+}
+
+// idStream is an independent deterministic source of span IDs. A parallel
+// region forks one stream per branch — in deterministic order, before any
+// goroutine launches — so each branch's descendants draw IDs from their own
+// seeded stream and same-seed runs produce byte-identical traces regardless
+// of goroutine scheduling.
+type idStream struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newIDStream(seed int64) *idStream {
+	return &idStream{rng: randutil.NewRand(seed)}
+}
+
+// next returns a fresh nonzero ID.
+func (ids *idStream) next() uint64 {
+	ids.mu.Lock()
+	defer ids.mu.Unlock()
+	for {
+		if id := ids.rng.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// fork derives a new stream whose seed is drawn from this one.
+func (ids *idStream) fork() *idStream {
+	ids.mu.Lock()
+	seed := ids.rng.Int63()
+	ids.mu.Unlock()
+	return newIDStream(seed)
 }
 
 // New returns a Tracer.
@@ -82,7 +118,7 @@ func New(opts Options) *Tracer {
 		spansStarted:  &metric.Counter{},
 		spansFinished: &metric.Counter{},
 	}
-	t.mu.rng = randutil.NewRand(opts.Seed)
+	t.ids = newIDStream(opts.Seed)
 	t.mu.live = map[uint64]*Span{}
 	if opts.Metrics != nil {
 		opts.Metrics.MustRegister("trace.spans_started", t.spansStarted)
@@ -109,25 +145,24 @@ func (t *Tracer) Clock() timeutil.Clock {
 	return t.clock
 }
 
-// nextID returns a fresh nonzero ID from the seeded stream.
-// Caller must hold t.mu.
-func (t *Tracer) nextIDLocked() uint64 {
-	for {
-		if id := t.mu.rng.Uint64(); id != 0 {
-			return id
+// newSpan mints a span. IDs come from ids when non-nil, otherwise from the
+// parent's stream (which, unforked, is the tracer's root stream).
+func (t *Tracer) newSpan(op string, traceID, parentID uint64, parent *Span, ids *idStream) *Span {
+	if ids == nil {
+		if parent != nil && parent.ids != nil {
+			ids = parent.ids
+		} else {
+			ids = t.ids
 		}
 	}
-}
-
-func (t *Tracer) newSpan(op string, traceID, parentID uint64, parent *Span) *Span {
-	s := &Span{tracer: t, op: op, start: t.clock.Now()}
-	t.mu.Lock()
+	s := &Span{tracer: t, op: op, start: t.clock.Now(), ids: ids}
 	if traceID == 0 {
-		traceID = t.nextIDLocked()
+		traceID = ids.next()
 	}
 	s.traceID = traceID
-	s.spanID = t.nextIDLocked()
+	s.spanID = ids.next()
 	s.parentID = parentID
+	t.mu.Lock()
 	t.mu.live[s.spanID] = s
 	t.mu.Unlock()
 	if parent != nil {
@@ -144,7 +179,7 @@ func (t *Tracer) StartRoot(op string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.newSpan(op, 0, 0, nil)
+	return t.newSpan(op, 0, 0, nil, nil)
 }
 
 // StartSpan starts a span as a child of the span in ctx, or a new root
@@ -155,9 +190,9 @@ func (t *Tracer) StartSpan(ctx context.Context, op string) (context.Context, *Sp
 	}
 	var s *Span
 	if parent := SpanFromContext(ctx); parent != nil {
-		s = t.newSpan(op, parent.traceID, parent.spanID, parent)
+		s = t.newSpan(op, parent.traceID, parent.spanID, parent, nil)
 	} else {
-		s = t.newSpan(op, 0, 0, nil)
+		s = t.newSpan(op, 0, 0, nil, nil)
 	}
 	return ContextWithSpan(ctx, s), s
 }
@@ -176,9 +211,9 @@ func (t *Tracer) StartRemote(traceID, parentSpanID uint64, op string) *Span {
 	parent := t.mu.live[parentSpanID]
 	t.mu.Unlock()
 	if parent != nil {
-		return t.newSpan(op, traceID, parentSpanID, parent)
+		return t.newSpan(op, traceID, parentSpanID, parent, nil)
 	}
-	return t.newSpan(op, traceID, 0, nil)
+	return t.newSpan(op, traceID, 0, nil, nil)
 }
 
 // StartSpan starts a child of the span carried by ctx using that span's
@@ -231,6 +266,10 @@ type Span struct {
 	parentID uint64
 	op       string
 	start    time.Time
+	// ids is the stream this span's descendants draw IDs from: the
+	// tracer's root stream normally, or a branch-private stream when the
+	// span was created by StartForkedChild.
+	ids *idStream
 
 	mu struct {
 		sync.Mutex
@@ -368,7 +407,25 @@ func (s *Span) StartChild(op string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tracer.newSpan(op, s.traceID, s.spanID, s)
+	return s.tracer.newSpan(op, s.traceID, s.spanID, s, nil)
+}
+
+// StartForkedChild starts a child span whose descendants draw span IDs
+// from an independent stream seeded deterministically from this span's
+// stream. Branch-parallel code (the DistSender fan-out) creates one forked
+// child per branch — in deterministic order, before launching goroutines —
+// so every branch's subtree has reproducible IDs no matter how the
+// goroutines interleave. The caller must also attach branches to the
+// parent in deterministic order, which pre-creation guarantees.
+func (s *Span) StartForkedChild(op string) *Span {
+	if s == nil {
+		return nil
+	}
+	src := s.ids
+	if src == nil {
+		src = s.tracer.ids
+	}
+	return s.tracer.newSpan(op, s.traceID, s.spanID, s, src.fork())
 }
 
 func (s *Span) addChild(c *Span) {

@@ -247,3 +247,67 @@ func TestFinishIdempotent(t *testing.T) {
 		t.Fatalf("double-record on repeat Finish: count=%d", got)
 	}
 }
+
+// TestForkedChildDeterminism: descendants of forked children draw span IDs
+// from branch-private streams, so a parallel region produces byte-identical
+// structure across same-seed runs regardless of goroutine interleaving.
+func TestForkedChildDeterminism(t *testing.T) {
+	run := func(seed int64, reverse bool) string {
+		tr, _ := newTestTracer(seed)
+		root := tr.StartRoot("root")
+		// Fork branches in deterministic order (as the DistSender fan-out
+		// does before launching goroutines)...
+		branches := make([]*Span, 4)
+		for i := range branches {
+			branches[i] = root.StartForkedChild("branch")
+		}
+		// ...then run the per-branch work in an arbitrary order to model
+		// scheduler nondeterminism. Each branch's descendants draw from its
+		// private stream, so the order must not matter.
+		order := []int{0, 1, 2, 3}
+		if reverse {
+			order = []int{3, 2, 1, 0}
+		}
+		for _, i := range order {
+			ctx := ContextWithSpan(context.Background(), branches[i])
+			_, inner := StartSpan(ctx, "work")
+			inner.Finish()
+			branches[i].Finish()
+		}
+		root.Finish()
+		return StructureString(root)
+	}
+	a, b := run(7, false), run(7, true)
+	if a != b {
+		t.Fatalf("forked-branch traces differ across interleavings:\n--- in order\n%s\n--- reversed\n%s", a, b)
+	}
+	if c := run(8, false); c == a {
+		t.Fatal("different seeds produced identical forked traces")
+	}
+	// Branches must have distinct IDs from each other and the root stream.
+	tr, _ := newTestTracer(7)
+	root := tr.StartRoot("root")
+	b1 := root.StartForkedChild("b1")
+	b2 := root.StartForkedChild("b2")
+	plain := root.StartChild("plain")
+	seen := map[uint64]bool{root.SpanID(): true}
+	for _, s := range []*Span{b1, b2, plain} {
+		if s.TraceID() != root.TraceID() {
+			t.Fatalf("%s trace ID %x != root %x", s.Op(), s.TraceID(), root.TraceID())
+		}
+		if seen[s.SpanID()] {
+			t.Fatalf("duplicate span ID %x", s.SpanID())
+		}
+		seen[s.SpanID()] = true
+		s.Finish()
+	}
+	root.Finish()
+}
+
+// TestForkedChildNilSafety: forking from a nil span is a no-op.
+func TestForkedChildNilSafety(t *testing.T) {
+	var s *Span
+	if got := s.StartForkedChild("x"); got != nil {
+		t.Fatalf("nil span forked child = %v", got)
+	}
+}

@@ -2,10 +2,14 @@ package crdbserverless
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/kvserver"
 	"crdbserverless/internal/trace"
 )
 
@@ -101,6 +105,85 @@ func TestSameSeedTracesAreIdentical(t *testing.T) {
 	// embed trace and span IDs).
 	c := trace.StructureString(runTracedWorkload(t, 43))
 	if a == c {
+		t.Fatal("different seeds produced identical trace IDs")
+	}
+}
+
+// runParallelBatchTrace runs a 16-request batch spread across four ranges
+// through a DistSender with parallel fan-out enabled, under a tracer seeded
+// with seed, and returns the root trace's structure rendering.
+func runParallelBatchTrace(t *testing.T, seed int64) string {
+	t.Helper()
+	tr := trace.New(trace.Options{Seed: seed})
+	cheap := kvserver.CostConfig{
+		ReadBatchOverhead:  time.Nanosecond,
+		WriteBatchOverhead: time.Nanosecond,
+		ReadRequestCost:    time.Nanosecond,
+		WriteRequestCost:   time.Nanosecond,
+	}
+	var nodes []*kvserver.Node
+	for i := 1; i <= 3; i++ {
+		nodes = append(nodes, kvserver.NewNode(kvserver.NodeConfig{
+			ID: kvserver.NodeID(i), VCPUs: 2, Cost: cheap}))
+	}
+	c, err := kvserver.NewCluster(kvserver.ClusterConfig{}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ds := kvserver.NewDistSender(c, kvserver.Identity{Tenant: 2})
+	root := tr.StartRoot("test.batch")
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	key := func(i int) keys.Key {
+		return append(keys.MakeTenantPrefix(2), []byte(fmt.Sprintf("k%02d", i))...)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{
+			{Method: kvpb.Put, Key: key(i), Value: []byte(fmt.Sprintf("v%02d", i))}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, split := range []int{4, 8, 12} {
+		if err := c.SplitAt(key(split)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ba := &kvpb.BatchRequest{Tenant: 2}
+	for i := 0; i < 16; i++ {
+		ba.Requests = append(ba.Requests, kvpb.Request{Method: kvpb.Get, Key: key(i)})
+	}
+	// A fresh sender sees the post-split range layout, so the batch splits
+	// into four groups and takes the parallel fan-out path.
+	ds = kvserver.NewDistSender(c, kvserver.Identity{Tenant: 2})
+	resp, err := ds.Send(ctx, ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Responses {
+		if want := fmt.Sprintf("v%02d", i); string(r.Value) != want {
+			t.Fatalf("response %d = %q, want %q", i, r.Value, want)
+		}
+	}
+	root.Finish()
+	return trace.StructureString(root)
+}
+
+// TestParallelBatchTraceDeterminism: with parallel fan-out enabled, a
+// multi-range batch still produces byte-identical trace structure (IDs and
+// span tree) on every same-seed run — goroutine completion order must not
+// leak into the trace.
+func TestParallelBatchTraceDeterminism(t *testing.T) {
+	a := runParallelBatchTrace(t, 42)
+	if !strings.Contains(a, "dist.fanout") {
+		t.Fatalf("parallel fan-out path not exercised:\n%s", a)
+	}
+	for i := 0; i < 5; i++ {
+		if b := runParallelBatchTrace(t, 42); a != b {
+			t.Fatalf("same-seed parallel traces differ (run %d):\n--- run 1\n%s\n--- run %d\n%s", i+2, a, i+2, b)
+		}
+	}
+	if c := runParallelBatchTrace(t, 43); a == c {
 		t.Fatal("different seeds produced identical trace IDs")
 	}
 }
