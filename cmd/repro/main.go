@@ -10,10 +10,12 @@
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, table1 (also
 // emits fig12+fig13), kvbench (also writes BENCH_kv.json), tracez, fig11,
-// pushdown, kvscaling, ablations.
+// pushdown, kvscaling, chaos (seeded fault storm; -chaos-seed reproduces a
+// run), ablations.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,13 +33,14 @@ type experiment struct {
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quick = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		which     = flag.String("experiment", "all", "experiment id or 'all'")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		quick     = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos experiment; same seed reproduces the run")
 	)
 	flag.Parse()
 
-	exps := buildExperiments(*quick)
+	exps := buildExperiments(*quick, *chaosSeed)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
@@ -65,7 +68,7 @@ func main() {
 	}
 }
 
-func buildExperiments(quick bool) []experiment {
+func buildExperiments(quick bool, chaosSeed int64) []experiment {
 	scale := func(full, small int) int {
 		if quick {
 			return small
@@ -208,6 +211,25 @@ func buildExperiments(quick bool) []experiment {
 				return err
 			}
 			fmt.Print(table)
+			return nil
+		}},
+		{"chaos", "deterministic fault injection: seeded failure storm + consistency invariants", func() error {
+			res, err := experiments.Chaos(context.Background(), experiments.ChaosOptions{
+				Seed: chaosSeed,
+				Ops:  scale(5000, 1000),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table)
+			if len(res.Violations) > 0 {
+				for _, v := range res.Violations {
+					fmt.Fprintf(os.Stderr, "violation: %s\n", v)
+				}
+				return fmt.Errorf("chaos run (seed=%d) found %d invariant violations; rerun with -chaos-seed=%d to reproduce",
+					res.Seed, len(res.Violations), res.Seed)
+			}
+			fmt.Printf("all invariants held (rerun with -chaos-seed=%d for the identical schedule)\n", res.Seed)
 			return nil
 		}},
 		{"ablations", "design-choice ablations (fair queueing, trickle grants, model shape, warm pool)", func() error {

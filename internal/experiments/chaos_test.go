@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// A short chaos run must complete with zero invariant violations and must
+// actually have exercised the fault surface.
+func TestChaosSmoke(t *testing.T) {
+	res, err := Chaos(context.Background(), ChaosOptions{Seed: 1, Ops: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Commits == 0 {
+		t.Fatal("chaos run committed nothing")
+	}
+	if res.TotalFires == 0 {
+		t.Fatal("chaos run fired no faults")
+	}
+}
+
+// The same seed must produce a byte-identical fault schedule and operation
+// trace: that is what makes a chaos failure reproducible.
+func TestChaosDeterminism(t *testing.T) {
+	ctx := context.Background()
+	a, err := Chaos(ctx, ChaosOptions{Seed: 42, Ops: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(ctx, ChaosOptions{Seed: 42, Ops: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule != b.Schedule {
+		t.Errorf("fault schedules diverge for the same seed:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.Schedule, b.Schedule)
+	}
+	if a.Trace != b.Trace {
+		t.Errorf("operation traces diverge for the same seed:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.Trace, b.Trace)
+	}
+	if a.Commits != b.Commits || a.Aborts != b.Aborts || a.TotalFires != b.TotalFires {
+		t.Errorf("summary counters diverge: run1={c:%d a:%d f:%d} run2={c:%d a:%d f:%d}",
+			a.Commits, a.Aborts, a.TotalFires, b.Commits, b.Aborts, b.TotalFires)
+	}
+}
+
+// The full-length run from the acceptance criteria; skipped under -short.
+func TestChaosFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5000-op chaos run skipped in -short mode")
+	}
+	res, err := Chaos(context.Background(), ChaosOptions{Seed: 7, Ops: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Commits == 0 || res.TotalFires == 0 {
+		t.Fatalf("run did not exercise the system: commits=%d fires=%d", res.Commits, res.TotalFires)
+	}
+}

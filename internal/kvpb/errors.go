@@ -108,9 +108,18 @@ func (e *TransactionAbortedError) Error() string {
 	return fmt.Sprintf("txn %d aborted", e.TxnID)
 }
 
+// retriableFault is implemented by injected fault errors
+// (internal/faultinject) so retry loops can treat them as transient
+// transport failures without kvpb importing the injector.
+type retriableFault interface{ RetriableFault() bool }
+
 // IsRetriable reports whether the error indicates the operation may succeed
 // if retried (possibly after refreshing caches or at a new timestamp).
 func IsRetriable(err error) bool {
+	var rf retriableFault
+	if errors.As(err, &rf) {
+		return rf.RetriableFault()
+	}
 	var (
 		nle *NotLeaseholderError
 		rkm *RangeKeyMismatchError

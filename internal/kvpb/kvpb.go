@@ -25,6 +25,11 @@ const (
 	// ResolveIntent finalizes a transaction's provisional write on a key.
 	// Issued by the transaction coordinator at commit/abort time.
 	ResolveIntent
+	// ResolveIntentRange finalizes a transaction's provisional writes over a
+	// key span. The coordinator issues it for DeleteRange footprints, whose
+	// exact keys it may never have learned (the batch can fail after partial
+	// application); the leaseholder enumerates the matching intents itself.
+	ResolveIntentRange
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +47,8 @@ func (m Method) String() string {
 		return "DeleteRange"
 	case ResolveIntent:
 		return "ResolveIntent"
+	case ResolveIntentRange:
+		return "ResolveIntentRange"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -49,7 +56,8 @@ func (m Method) String() string {
 
 // IsWrite reports whether the method mutates the keyspace.
 func (m Method) IsWrite() bool {
-	return m == Put || m == Delete || m == DeleteRange || m == ResolveIntent
+	return m == Put || m == Delete || m == DeleteRange ||
+		m == ResolveIntent || m == ResolveIntentRange
 }
 
 // Priority orders work within a tenant's admission queue.

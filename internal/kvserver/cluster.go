@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/hlc"
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
@@ -41,6 +43,9 @@ type ClusterConfig struct {
 	SplitSizeThreshold int64
 	// LeaseDuration for range leases. Defaults to 9s.
 	LeaseDuration time.Duration
+	// Faults, when non-nil, arms fault-injection sites in every range's
+	// replication group (see internal/faultinject).
+	Faults *faultinject.Registry
 }
 
 // rangeState is one range: descriptor, replication group, and stats.
@@ -237,6 +242,7 @@ func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*range
 		Clock:         c.clock,
 		Liveness:      c.liveness,
 		LeaseDuration: c.cfg.LeaseDuration,
+		Faults:        c.cfg.Faults,
 	}, replicas, sms)
 	if err != nil {
 		return nil, err
@@ -391,12 +397,10 @@ func (c *Cluster) Tick() {
 	for _, n := range c.Nodes() {
 		n.Tick()
 	}
-	c.mu.RLock()
-	ranges := make([]*rangeState, 0, len(c.mu.ranges))
-	for _, rs := range c.mu.ranges {
-		ranges = append(ranges, rs)
-	}
-	c.mu.RUnlock()
+	// RangeID order, not map order: lease maintenance triggers catch-up
+	// applies, and those must consult fault-injection sites in a
+	// deterministic sequence for seeded chaos runs to reproduce.
+	ranges := c.rangesByID()
 
 	for _, rs := range ranges {
 		if lh, ok := rs.group.Leaseholder(); ok {
@@ -405,12 +409,11 @@ func (c *Cluster) Tick() {
 				continue
 			}
 		}
-		// Leaderless (or holder dead): the first live replica takes over,
-		// and catches up any replica that was behind.
+		// Leaderless (or holder dead): the first live replica takes over
+		// (AcquireLease applies any entries it missed before granting).
 		for _, nid := range rs.group.Replicas() {
 			if c.liveness(nid) {
 				if err := rs.group.AcquireLease(nid); err == nil {
-					_ = rs.group.CatchUp(nid)
 					break
 				}
 			}
@@ -442,13 +445,69 @@ func (c *Cluster) rebalanceLeases(ranges []*rangeState) {
 			}
 		}
 		if best != lh && counts[lh]-counts[best] > 1 {
+			// TransferLease catches the target up before handing over.
 			if err := rs.group.TransferLease(lh, best); err == nil {
-				_ = rs.group.CatchUp(best)
 				counts[lh]--
 				counts[best]++
 			}
 		}
 	}
+}
+
+// ReplicaStatus reports one replica's replication progress.
+type ReplicaStatus struct {
+	RangeID RangeID
+	Node    NodeID
+	Applied uint64
+	Commit  uint64
+}
+
+// ReplicaStatuses returns the applied and commit indexes of every replica of
+// every range, ordered by (range, replica). The chaos harness's convergence
+// invariant — all applied state reaches the commit index after quiescence —
+// reads these.
+func (c *Cluster) ReplicaStatuses() []ReplicaStatus {
+	var out []ReplicaStatus
+	for _, rs := range c.rangesByID() {
+		commit := rs.group.CommitIndex()
+		for _, nid := range rs.group.Replicas() {
+			applied, err := rs.group.AppliedIndex(nid)
+			if err != nil {
+				continue
+			}
+			out = append(out, ReplicaStatus{
+				RangeID: rs.desc.RangeID, Node: nid, Applied: applied, Commit: commit,
+			})
+		}
+	}
+	return out
+}
+
+// CatchUpReplicas applies pending committed entries on every replica of every
+// range — the quiescence step before checking convergence, standing in for
+// the raft log replay a revived node performs.
+func (c *Cluster) CatchUpReplicas() error {
+	var firstErr error
+	for _, rs := range c.rangesByID() {
+		for _, nid := range rs.group.Replicas() {
+			if err := rs.group.CatchUp(nid); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// rangesByID snapshots the range states in RangeID order.
+func (c *Cluster) rangesByID() []*rangeState {
+	c.mu.RLock()
+	ranges := make([]*rangeState, 0, len(c.mu.ranges))
+	for _, rs := range c.mu.ranges {
+		ranges = append(ranges, rs)
+	}
+	c.mu.RUnlock()
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].desc.RangeID < ranges[j].desc.RangeID })
+	return ranges
 }
 
 // RunGC reclaims old MVCC versions across every range and node, retaining
@@ -580,6 +639,8 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 		lh, ok := rs.group.Leaseholder()
 		if !ok {
 			// Try to acquire for ourselves.
+			// AcquireLease itself catches the node up to the commit index
+			// before granting, so the new leaseholder serves current state.
 			if err := rs.group.AcquireLease(nodeID); err != nil {
 				var nle *kvpb.NotLeaseholderError
 				if errors.As(err, &nle) {
@@ -587,7 +648,6 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 				}
 				return nil, &kvpb.NotLeaseholderError{RangeID: int64(rs.desc.RangeID)}
 			}
-			_ = rs.group.CatchUp(nodeID)
 		} else if lh != nodeID {
 			return nil, &kvpb.NotLeaseholderError{RangeID: int64(rs.desc.RangeID), Leaseholder: lh}
 		}
@@ -742,6 +802,23 @@ func (c *Cluster) evaluateBatch(n *Node, rs *rangeState, ba *kvpb.BatchRequest) 
 				Commit: r.ResolveCommit, CommitTs: r.ResolveTs,
 			})
 			resp.Responses = append(resp.Responses, kvpb.Response{Method: r.Method})
+		case kvpb.ResolveIntentRange:
+			// The leaseholder enumerates the transaction's intents in the
+			// span and replicates one point resolution per key, so every
+			// replica applies the identical mutation list.
+			iks, err := mvcc.IntentKeys(n.engine, r.Span(), r.ResolveTxnID)
+			if err != nil {
+				return nil, err
+			}
+			out := kvpb.Response{Method: r.Method}
+			for _, k := range iks {
+				cmd.Mutations = append(cmd.Mutations, mutation{
+					Kind: mutResolve, Key: k, TxnID: r.ResolveTxnID,
+					Commit: r.ResolveCommit, CommitTs: r.ResolveTs,
+				})
+				out.Rows = append(out.Rows, kvpb.KeyValue{Key: k})
+			}
+			resp.Responses = append(resp.Responses, out)
 		default:
 			return nil, fmt.Errorf("kvserver: unsupported method %s", r.Method)
 		}

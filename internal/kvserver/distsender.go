@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
 	"crdbserverless/internal/trace"
@@ -32,6 +33,9 @@ type DistSender struct {
 	parallelism int
 	// cacheLimit caps both the descriptor cache and the lease-hint map.
 	cacheLimit int
+	// faults, when non-nil, arms the sender's fault-injection sites
+	// (dist.subbatch.err, dist.desc.stale).
+	faults *faultinject.Registry
 
 	mu struct {
 		sync.Mutex
@@ -54,6 +58,11 @@ type Config struct {
 	// structures are best-effort hints repaired by redirects). 0 means
 	// DefaultCacheLimit.
 	CacheLimit int
+	// Faults, when non-nil, arms the sender's fault-injection sites:
+	// dist.subbatch.err fails a per-range sub-batch after the server applied
+	// it (the response is dropped on the floor), and dist.desc.stale makes a
+	// META lookup return a stale cached descriptor instead of the fresh one.
+	Faults *faultinject.Registry
 }
 
 // DefaultParallelism is the default bound on concurrent per-range dispatch.
@@ -82,6 +91,7 @@ func NewDistSender(c *Cluster, id Identity, cfg ...Config) *DistSender {
 		identity:    id,
 		parallelism: conf.Parallelism,
 		cacheLimit:  conf.CacheLimit,
+		faults:      conf.Faults,
 	}
 	ds.mu.leaseHints = make(map[RangeID]NodeID)
 	return ds
@@ -106,13 +116,25 @@ func (ds *DistSender) Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.Ba
 	if err != nil {
 		return nil, err
 	}
+	// Pre-draw per-sub-batch fault decisions sequentially in group order —
+	// the same discipline as the pre-forked trace spans — so parallel
+	// dispatch cannot reorder schedule consultations. An injected sub-batch
+	// failure surfaces after the server applied the sub-batch: the write
+	// landed but the client never hears about it (a lost response).
+	var injected []error
+	if ds.faults != nil {
+		injected = make([]error, len(groups))
+		for i := range groups {
+			injected[i] = ds.faults.MaybeErr("dist.subbatch.err")
+		}
+	}
 	out := &kvpb.BatchResponse{Timestamp: ba.ReadTs()}
 	responses := make([]kvpb.Response, len(ba.Requests))
 	if len(groups) > 1 && ds.parallelism > 1 {
 		sp.SetAttr("dist.ranges", len(groups))
-		err = ds.sendParallel(ctx, sp, groups, ba, responses)
+		err = ds.sendParallel(ctx, sp, groups, ba, responses, injected)
 	} else {
-		err = ds.sendSequential(ctx, groups, ba, responses)
+		err = ds.sendSequential(ctx, groups, ba, responses, injected)
 	}
 	if err != nil {
 		return nil, err
@@ -123,11 +145,15 @@ func (ds *DistSender) Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.Ba
 
 // sendSequential dispatches the groups one at a time in request order — the
 // single-range fast path and the Parallelism<=1 configuration.
-func (ds *DistSender) sendSequential(ctx context.Context, groups []requestGroup, ba *kvpb.BatchRequest, responses []kvpb.Response) error {
-	for _, g := range groups {
+func (ds *DistSender) sendSequential(ctx context.Context, groups []requestGroup, ba *kvpb.BatchRequest, responses []kvpb.Response, injected []error) error {
+	for gi, g := range groups {
 		sub := *ba
 		sub.Requests = g.requests
 		resp, err := ds.sendToRange(ctx, g.desc, &sub)
+		if err == nil && injected != nil && injected[gi] != nil {
+			// The sub-batch applied; its response is lost.
+			err = injected[gi]
+		}
 		if err != nil {
 			return err
 		}
@@ -143,7 +169,7 @@ func (ds *DistSender) sendSequential(ctx context.Context, groups []requestGroup,
 // streams their descendants draw from) are created sequentially in group
 // order before any goroutine starts, and responses merge by group index —
 // completion order never leaks into the trace or the response.
-func (ds *DistSender) sendParallel(ctx context.Context, sp *trace.Span, groups []requestGroup, ba *kvpb.BatchRequest, responses []kvpb.Response) error {
+func (ds *DistSender) sendParallel(ctx context.Context, sp *trace.Span, groups []requestGroup, ba *kvpb.BatchRequest, responses []kvpb.Response, injected []error) error {
 	type branch struct {
 		ctx  context.Context
 		sp   *trace.Span
@@ -172,6 +198,10 @@ func (ds *DistSender) sendParallel(ctx context.Context, sp *trace.Span, groups [
 			sub := *ba
 			sub.Requests = groups[i].requests
 			b.resp, b.err = ds.sendToRange(b.ctx, groups[i].desc, &sub)
+			if b.err == nil && injected != nil && injected[i] != nil {
+				// The sub-batch applied; its response is lost.
+				b.err = injected[i]
+			}
 			b.sp.Finish()
 		}(i)
 	}
@@ -272,7 +302,7 @@ func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba
 			clip := clipToRange(pending, desc.Span)
 			sub := *ba
 			sub.Requests = clip.sent
-			target := ds.target(desc, ba)
+			target := ds.target(desc, ba, attempt)
 			resp, err := ds.cluster.Batch(ctx, target, ds.identity, &sub)
 			if err == nil {
 				ds.noteLeaseholder(desc.RangeID, target)
@@ -347,7 +377,7 @@ func (ds *DistSender) sendToRange(ctx context.Context, desc *RangeDescriptor, ba
 // target picks the node to contact: follower reads go to the first replica
 // (in production, the nearest); everything else goes to the lease hint or,
 // absent one, a replica that may acquire the lease.
-func (ds *DistSender) target(desc *RangeDescriptor, ba *kvpb.BatchRequest) NodeID {
+func (ds *DistSender) target(desc *RangeDescriptor, ba *kvpb.BatchRequest, attempt int) NodeID {
 	if ba.FollowerRead && ba.IsReadOnly() {
 		return desc.Replicas[0]
 	}
@@ -357,7 +387,11 @@ func (ds *DistSender) target(desc *RangeDescriptor, ba *kvpb.BatchRequest) NodeI
 	if ok {
 		return hint
 	}
-	return desc.Replicas[0]
+	// No hint: rotate through the replicas across attempts. Always retrying
+	// Replicas[0] exhausts the retry budget when that node is dead (it can
+	// never acquire the lease) even though a live replica could serve — a
+	// gap the chaos harness's liveness flaps exposed.
+	return desc.Replicas[attempt%len(desc.Replicas)]
 }
 
 func (ds *DistSender) noteLeaseholder(id RangeID, n NodeID) {
@@ -414,8 +448,18 @@ func (ds *DistSender) lookupFresh(key keys.Key) (*RangeDescriptor, error) {
 	if err != nil {
 		return nil, err
 	}
+	injectStale := ds.faults.Should("dist.desc.stale")
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	if injectStale {
+		// Stale-descriptor injection: serve the superseded cached entry
+		// instead of the fresh one, modeling a lagging META follower read
+		// (§3.2.5 tolerates exactly this). The misrouted batch draws a
+		// RangeKeyMismatch redirect and the next lookup repairs the cache.
+		if stale := ds.cachedDescLocked(key); stale != nil && stale.RangeID != desc.RangeID {
+			return stale, nil
+		}
+	}
 	// Evict overlapping stale entries, insert the fresh one, restore order.
 	kept := ds.mu.cache[:0]
 	for _, d := range ds.mu.cache {

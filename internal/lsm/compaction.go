@@ -26,6 +26,11 @@ func (e *Engine) compactOnce() bool {
 	if e.mu.closed {
 		return false
 	}
+	// An injected compaction failure skips this round; the backlog persists
+	// until a later write re-triggers the scheduler.
+	if e.opts.Faults.Should("lsm.compact.error") {
+		return false
+	}
 	// Priority 1: L0 backlog. A deep L0 inflates read amplification, which
 	// is exactly the bottleneck §5.1.3 describes.
 	if len(e.mu.levels[0]) >= e.opts.L0CompactionThreshold {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/randutil"
 	"crdbserverless/internal/trace"
@@ -44,6 +45,13 @@ type Options struct {
 	// registration is not an option). When nil the engine allocates
 	// private, unregistered counters so the Metrics snapshot still works.
 	ReadMetrics *ReadMetrics
+	// Faults, when non-nil, arms the engine's fault-injection sites:
+	// lsm.write.stall delays a write before it takes the engine lock,
+	// lsm.flush.error fails a memtable rotation (the memtable stays and is
+	// retried at the next threshold crossing), and lsm.compact.error skips a
+	// compaction round. The flush and compaction sites are consulted under
+	// the engine lock, so configure them without a Delay.
+	Faults *faultinject.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -171,6 +179,10 @@ func (e *Engine) Delete(key []byte) error {
 // also crossed the threshold observes the already-rotated (empty) memtable
 // instead of re-flushing it.
 func (e *Engine) ApplyBatch(entries []Entry) error {
+	// An injected write stall (a backed-up WAL or flush queue) delays the
+	// batch before it reaches the engine lock, so stalled writers don't block
+	// readers for the stall's duration.
+	e.opts.Faults.Should("lsm.write.stall")
 	e.mu.Lock()
 	if e.mu.closed {
 		e.mu.Unlock()
@@ -186,7 +198,10 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 	var sp *trace.Span
 	var flushed bool
 	if e.mu.mem.sizeB >= e.opts.MemTableSize {
-		sp, flushed = e.flushLocked()
+		// A failed background flush is not a write failure: the entries are
+		// already durable in the memtable (and WAL, in a real engine) and the
+		// rotation is retried at the next threshold crossing.
+		sp, flushed, _ = e.flushLocked()
 	}
 	auto := flushed && !e.opts.DisableAutoCompactions
 	e.mu.Unlock()
@@ -274,14 +289,14 @@ func (e *Engine) Flush() error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	sp, flushed := e.flushLocked()
+	sp, flushed, err := e.flushLocked()
 	auto := flushed && !e.opts.DisableAutoCompactions
 	e.mu.Unlock()
 	if auto {
 		e.maybeCompact()
 	}
 	sp.Finish()
-	return nil
+	return err
 }
 
 // flushLocked rotates the active memtable into a new L0 sstable. The caller
@@ -289,10 +304,15 @@ func (e *Engine) Flush() error {
 // returned span after releasing the lock (and after any follow-up
 // compaction, which the span's duration is meant to cover). The boolean
 // reports whether a rotation happened; the span alone can't signal that,
-// since a nil Tracer yields nil spans for real flushes.
-func (e *Engine) flushLocked() (*trace.Span, bool) {
+// since a nil Tracer yields nil spans for real flushes. An injected flush
+// error (lsm.flush.error) leaves the memtable in place — nothing is lost,
+// the rotation just didn't happen.
+func (e *Engine) flushLocked() (*trace.Span, bool, error) {
 	if e.mu.mem.empty() {
-		return nil, false
+		return nil, false, nil
+	}
+	if err := e.opts.Faults.MaybeErr("lsm.flush.error"); err != nil {
+		return nil, false, err
 	}
 	sp := e.opts.Tracer.StartRoot("lsm.flush")
 	entries := e.mu.mem.entries()
@@ -306,7 +326,7 @@ func (e *Engine) flushLocked() (*trace.Span, bool) {
 	e.mu.metrics.MemTableBytes = 0
 	sp.SetAttr("lsm.flushed_bytes", t.sizeB)
 	sp.SetAttr("lsm.l0_files", len(e.mu.levels[0]))
-	return sp, true
+	return sp, true, nil
 }
 
 // Metrics returns a snapshot of the engine's instrumentation.

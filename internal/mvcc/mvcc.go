@@ -354,6 +354,36 @@ func GCOldVersions(e *lsm.Engine, span keys.Span, keepAfter hlc.Timestamp) (int,
 	return len(toDelete), nil
 }
 
+// IntentKeys returns the user keys in span holding an unresolved intent, in
+// key order. A nonzero txnID restricts the result to that transaction's
+// intents. An intent is always a key's newest version (committed writes
+// cannot land above one), so only the first storage entry per user key needs
+// decoding. ResolveIntentRange evaluation and the chaos harness's
+// orphaned-intent invariant are built on this.
+func IntentKeys(e *lsm.Engine, span keys.Span, txnID uint64) ([]keys.Key, error) {
+	lo, hi := EngineSpan(span)
+	var out []keys.Key
+	var curKey keys.Key
+	for it := e.NewIter(lo, hi); it.Valid(); it.Next() {
+		user, _, err := DecodeKey(it.Key())
+		if err != nil {
+			return nil, err
+		}
+		if user.Equal(curKey) {
+			continue
+		}
+		curKey = user.Clone()
+		v, err := decodeValue(it.Value())
+		if err != nil {
+			return nil, err
+		}
+		if v.IsIntent() && (txnID == 0 || v.TxnID == txnID) {
+			out = append(out, curKey)
+		}
+	}
+	return out, nil
+}
+
 // EngineSpan translates a user-key span into the raw storage-key bounds that
 // cover every MVCC version (and intent) of keys in the span. Replica
 // rebalancing copies engine data with these bounds.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"crdbserverless/internal/core"
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/kvserver"
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/proxy"
@@ -108,6 +109,12 @@ type Config struct {
 	// Tracer is handed to each SQL node so request traces propagated by
 	// the proxy continue through statement execution.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms the orchestrator's fault-injection sites:
+	// orchestrator.start.crash kills a pod's VM during cold start (creation
+	// retries with a fresh pod), and orchestrator.pod.evict reclaims an
+	// assigned pod's VM at the next Tick (the following directory lookup
+	// re-assigns from the warm pool).
+	Faults *faultinject.Registry
 }
 
 // Orchestrator manages the pod fleet for one region.
@@ -119,6 +126,7 @@ type Orchestrator struct {
 	podsReaped    *metric.Counter
 	coldResumes   *metric.Counter
 	suspendedPods *metric.Counter
+	podsEvicted   *metric.Counter
 
 	mu struct {
 		sync.Mutex
@@ -150,6 +158,7 @@ func New(cfg Config) (*Orchestrator, error) {
 	o.podsReaped = cfg.Metrics.NewCounter("orchestrator.pods_reaped")
 	o.coldResumes = cfg.Metrics.NewCounter("orchestrator.cold_resumes")
 	o.suspendedPods = cfg.Metrics.NewCounter("orchestrator.pods_suspended")
+	o.podsEvicted = cfg.Metrics.NewCounter("orchestrator.pods_evicted")
 	o.mu.byTenant = make(map[string][]*Pod)
 	if err := o.EnsureWarm(cfg.WarmPoolSize); err != nil {
 		return nil, err
@@ -181,27 +190,41 @@ func (o *Orchestrator) EnsureWarm(n int) error {
 }
 
 // createPod provisions a pod. With PreStartProcess the SQL process starts
-// (and opens its listener) immediately.
+// (and opens its listener) immediately. An injected VM crash during startup
+// (orchestrator.start.crash) discards the pod and retries with a fresh one,
+// as the control plane would reschedule a crashed container.
 func (o *Orchestrator) createPod() (*Pod, error) {
-	node := server.NewSQLNode(server.SQLNodeConfig{
-		InstanceID:    o.instanceIDs.Add(1),
-		Cluster:       o.cfg.Cluster,
-		Registry:      o.cfg.Registry,
-		Region:        o.cfg.Region,
-		Buckets:       o.cfg.Buckets,
-		Clock:         o.cfg.Clock,
-		RevivalSecret: o.cfg.RevivalSecret,
-		Colocated:     o.cfg.Colocated,
-		Tracer:        o.cfg.Tracer,
-	})
-	pod := &Pod{Node: node, state: PodWarm}
-	o.podsCreated.Inc(1)
-	if o.cfg.PreStartProcess {
-		if err := node.Start(); err != nil {
-			return nil, err
+	const maxStartAttempts = 3
+	var lastErr error
+	for attempt := 0; attempt < maxStartAttempts; attempt++ {
+		node := server.NewSQLNode(server.SQLNodeConfig{
+			InstanceID:    o.instanceIDs.Add(1),
+			Cluster:       o.cfg.Cluster,
+			Registry:      o.cfg.Registry,
+			Region:        o.cfg.Region,
+			Buckets:       o.cfg.Buckets,
+			Clock:         o.cfg.Clock,
+			RevivalSecret: o.cfg.RevivalSecret,
+			Colocated:     o.cfg.Colocated,
+			Tracer:        o.cfg.Tracer,
+		})
+		pod := &Pod{Node: node, state: PodWarm}
+		o.podsCreated.Inc(1)
+		if err := o.cfg.Faults.MaybeErr("orchestrator.start.crash"); err != nil {
+			node.Close()
+			lastErr = err
+			continue
 		}
+		if o.cfg.PreStartProcess {
+			if err := node.Start(); err != nil {
+				node.Close()
+				lastErr = err
+				continue
+			}
+		}
+		return pod, nil
 	}
-	return pod, nil
+	return nil, fmt.Errorf("orchestrator: pod failed to start after %d attempts: %w", maxStartAttempts, lastErr)
 }
 
 // WarmCount returns the warm pool size.
@@ -345,6 +368,16 @@ func (o *Orchestrator) Tick() {
 	now := o.cfg.Clock.Now()
 	for _, p := range pods {
 		p.mu.Lock()
+		if p.state == PodAssigned && o.cfg.Faults.Should("orchestrator.pod.evict") {
+			// Injected eviction: the infrastructure reclaims the VM out from
+			// under an assigned pod. The pod stops without draining; the next
+			// directory lookup re-assigns the tenant from the warm pool.
+			p.state = PodStopped
+			p.mu.Unlock()
+			o.stopPod(p)
+			o.podsEvicted.Inc(1)
+			continue
+		}
 		if p.state == PodDraining &&
 			(p.Node.ConnCount() == 0 || now.Sub(p.drainSince) >= o.cfg.DrainTimeout) {
 			p.state = PodStopped

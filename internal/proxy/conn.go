@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -134,6 +135,14 @@ func (pc *proxiedConn) relay() {
 				pc.mu.Unlock()
 				return
 			}
+			if pc.proxy.cfg.Faults.Should("proxy.backend.kill") {
+				// Injected SQL-node death between exchanges. The session must
+				// re-route to a healthy backend; only if no backend can be
+				// reached does the client connection die with it.
+				if err := pc.killBackendAndReconnect(); err != nil {
+					return
+				}
+			}
 			if err := pc.exchange(fr); err != nil {
 				return
 			}
@@ -176,6 +185,50 @@ func (pc *proxiedConn) exchange(fr frame) error {
 		return err
 	}
 	return writeRaw(pc.client, typ, payload)
+}
+
+// killBackendAndReconnect severs the current backend connection (modeling a
+// SQL-node crash mid-session) and re-routes the session to a healthy node via
+// the directory. Unlike the idle-window serialize/restore path, session state
+// cannot be captured from a dead node: a fresh startup handshake re-establishes
+// the session, while the client's TCP connection survives untouched.
+func (pc *proxiedConn) killBackendAndReconnect() error {
+	pc.mu.Lock()
+	old := pc.backend
+	oldAddr := pc.baddr
+	pc.backend = nil
+	pc.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	pc.proxy.releaseBackend(oldAddr)
+	backends, err := pc.proxy.cfg.Directory.Lookup(context.Background(), pc.tenantName)
+	if err != nil {
+		return err
+	}
+	// Prefer a node other than the one that just died; fall back to it only
+	// when it is the sole backend (the directory may have restarted it).
+	candidates := backends[:0:0]
+	for _, b := range backends {
+		if b.Addr != oldAddr {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = backends
+	}
+	backend, err := pc.proxy.pickBackend(candidates)
+	if err != nil {
+		return err
+	}
+	startup := pc.startup
+	if err := pc.connectBackend(backend.Addr, &startup); err != nil {
+		pc.proxy.releaseBackend(backend.Addr)
+		return err
+	}
+	pc.span.Eventf("backend %s died; session re-routed to %s", oldAddr, backend.Addr)
+	pc.proxy.noteBackendReconnect()
+	return nil
 }
 
 // migrate executes the session-migration protocol: serialize on the old

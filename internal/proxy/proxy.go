@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
@@ -52,6 +53,11 @@ type Config struct {
 	// each forwarded query with trace IDs so the SQL node continues the
 	// trace.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, arms the proxy's fault-injection sites:
+	// proxy.backend.kill severs the backend connection between exchanges,
+	// forcing the session to re-route to a healthy SQL node while the
+	// client's connection survives.
+	Faults *faultinject.Registry
 }
 
 // Proxy is a running proxy server.
@@ -69,8 +75,9 @@ type Proxy struct {
 	}
 	wg sync.WaitGroup
 
-	migrations   *metric.Counter
-	authFailures *metric.Counter
+	migrations        *metric.Counter
+	authFailures      *metric.Counter
+	backendReconnects *metric.Counter
 }
 
 type throttleState struct {
@@ -92,6 +99,7 @@ func New(cfg Config) *Proxy {
 	p := &Proxy{cfg: cfg}
 	p.migrations = cfg.Metrics.NewCounter("proxy.migrations")
 	p.authFailures = cfg.Metrics.NewCounter("proxy.auth_failures")
+	p.backendReconnects = cfg.Metrics.NewCounter("proxy.backend_reconnects")
 	p.mu.connsPerBackend = make(map[string]int)
 	p.mu.conns = make(map[*proxiedConn]struct{})
 	p.mu.throttle = make(map[string]*throttleState)
@@ -135,6 +143,10 @@ func (p *Proxy) Close() {
 
 // Migrations returns the number of completed session migrations.
 func (p *Proxy) Migrations() int64 { return p.migrations.Value() }
+
+// BackendReconnects returns the number of sessions re-routed to a new SQL
+// node after their backend connection died mid-session.
+func (p *Proxy) BackendReconnects() int64 { return p.backendReconnects.Value() }
 
 // AuthFailures returns the number of rejected authentication attempts seen.
 func (p *Proxy) AuthFailures() int64 { return p.authFailures.Value() }
@@ -401,6 +413,8 @@ func (p *Proxy) RequestMigration(fromAddr, toAddr string) bool {
 }
 
 func (p *Proxy) noteMigration() { p.migrations.Inc(1) }
+
+func (p *Proxy) noteBackendReconnect() { p.backendReconnects.Inc(1) }
 
 // RebalanceTick evens connection counts across each tenant's healthy
 // backends (§4.2.2: "proxy servers periodically re-balance connections

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/kvpb"
 	"crdbserverless/internal/timeutil"
 )
@@ -69,6 +70,7 @@ type Group struct {
 	clock    timeutil.Clock
 	live     LivenessFunc
 	leaseDur time.Duration
+	faults   *faultinject.Registry
 
 	mu     sync.Mutex
 	term   uint64
@@ -87,6 +89,9 @@ type Config struct {
 	// LeaseDuration is how long a lease lasts without extension. Defaults
 	// to 9 seconds (3 missed 3s heartbeats), mirroring CRDB defaults.
 	LeaseDuration time.Duration
+	// Faults, when non-nil, arms the group's fault-injection sites
+	// (raftlite.propose.delay, raftlite.propose.err, raftlite.lease.expire).
+	Faults *faultinject.Registry
 }
 
 // NewGroup creates a replication group over the given nodes. Each node's
@@ -109,6 +114,7 @@ func NewGroup(cfg Config, nodes []NodeID, sms []StateMachine) (*Group, error) {
 		clock:    cfg.Clock,
 		live:     cfg.Liveness,
 		leaseDur: cfg.LeaseDuration,
+		faults:   cfg.Faults,
 		term:     1,
 	}
 	for i, id := range nodes {
@@ -172,6 +178,13 @@ func (g *Group) AcquireLease(node NodeID) error {
 	if g.liveCountLocked() < g.quorum() {
 		return ErrNoQuorum
 	}
+	// A node that was dead while entries committed must apply them before it
+	// may serve: leases gate consistent reads, and reads serve from applied
+	// state, so granting first would open a stale-read window on the new
+	// leaseholder until something else triggered a catch-up.
+	if err := g.catchUpPeerLocked(node); err != nil {
+		return err
+	}
 	g.lease = Lease{
 		Holder:     node,
 		Expiration: now.Add(g.leaseDur),
@@ -190,6 +203,11 @@ func (g *Group) TransferLease(from, to NodeID) error {
 	now := g.clock.Now()
 	if !g.lease.Valid(now) || g.lease.Holder != from {
 		return ErrNotLeaseholder
+	}
+	// Same catch-up-before-grant rule as AcquireLease: the target may have
+	// been dead while entries committed.
+	if err := g.catchUpPeerLocked(to); err != nil {
+		return err
 	}
 	g.lease = Lease{
 		Holder:     to,
@@ -216,9 +234,23 @@ func (g *Group) ExtendLease(node NodeID) error {
 // hold a valid lease. On success the command is committed and applied to
 // every live replica; dead replicas catch up when they next apply.
 func (g *Group) Propose(node NodeID, cmd []byte) error {
+	// Fault sites, consulted before the group lock so configured delays do
+	// not sleep under it: a scheduling delay before the proposal enters the
+	// group, and an outright proposal failure (dropped before append — the
+	// caller sees an error and nothing replicated).
+	g.faults.Should("raftlite.propose.delay")
+	if err := g.faults.MaybeErr("raftlite.propose.err"); err != nil {
+		return err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	now := g.clock.Now()
+	if g.faults.Should("raftlite.lease.expire") {
+		// Simulated lease loss (a liveness blip reaching the lease record):
+		// force-expire so the validity check below redirects the proposer
+		// into reacquisition.
+		g.lease.Expiration = now
+	}
 	if !g.lease.Valid(now) || g.lease.Holder != node {
 		holder := g.lease.Holder
 		if !g.lease.Valid(now) {
@@ -268,6 +300,12 @@ func (g *Group) applyCommittedLocked() error {
 func (g *Group) CatchUp(node NodeID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.catchUpPeerLocked(node)
+}
+
+// catchUpPeerLocked applies committed entries the peer has not yet applied.
+// Lease acquisition and transfer run it before granting.
+func (g *Group) catchUpPeerLocked(node NodeID) error {
 	for _, p := range g.peers {
 		if p.id != node {
 			continue

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/hlc"
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
@@ -33,12 +34,18 @@ type Coordinator struct {
 	sender Sender
 	clock  *hlc.Clock
 	tenant keys.TenantID
+	faults *faultinject.Registry
 }
 
 // NewCoordinator returns a Coordinator.
 func NewCoordinator(sender Sender, clock *hlc.Clock, tenant keys.TenantID) *Coordinator {
 	return &Coordinator{sender: sender, clock: clock, tenant: tenant}
 }
+
+// SetFaults arms the coordinator's fault-injection sites (txn.postsend fails
+// a transactional batch after the send returned but before the coordinator
+// processes the response).
+func (c *Coordinator) SetFaults(f *faultinject.Registry) { c.faults = f }
 
 // Txn is one transaction. It is not safe for concurrent use (like a SQL
 // session, it executes one statement at a time).
@@ -48,7 +55,11 @@ type Txn struct {
 
 	mu struct {
 		sync.Mutex
-		intents  map[string]keys.Key // keys with unresolved provisional writes
+		intents map[string]keys.Key // keys with unresolved provisional writes
+		// spans are DeleteRange footprints, recorded before the batch goes
+		// out; the exact tombstoned keys may never come back if the batch
+		// fails after partial application.
+		spans    []keys.Span
 		finished bool
 		aborted  bool
 	}
@@ -82,6 +93,22 @@ func (t *Txn) Send(ctx context.Context, reqs ...kvpb.Request) (*kvpb.BatchRespon
 		t.mu.Unlock()
 		return nil, ErrTxnFinished
 	}
+	// Record write footprints BEFORE the batch goes out: with parallel
+	// DistSender fan-out, a batch that returns an error may still have
+	// applied some of its per-range sub-batches, and those intents must be
+	// resolvable at abort — recording only on success orphans them, blocking
+	// every later reader of the keys. Resolution of a key that was never
+	// actually written is a no-op, so over-recording is safe.
+	for _, r := range reqs {
+		switch r.Method {
+		case kvpb.Put, kvpb.Delete:
+			t.mu.intents[string(r.Key)] = r.Key.Clone()
+		case kvpb.DeleteRange:
+			t.mu.spans = append(t.mu.spans, keys.Span{
+				Key: r.Key.Clone(), EndKey: r.EndKey.Clone(),
+			})
+		}
+	}
 	t.mu.Unlock()
 	meta := t.meta
 	ba := &kvpb.BatchRequest{
@@ -93,17 +120,20 @@ func (t *Txn) Send(ctx context.Context, reqs ...kvpb.Request) (*kvpb.BatchRespon
 	if err != nil {
 		return nil, err
 	}
+	if err := t.coord.faults.MaybeErr("txn.postsend"); err != nil {
+		// The batch applied server-side but the coordinator fails before
+		// processing the response. The pre-send recording above keeps the
+		// laid-down intents resolvable regardless.
+		return nil, err
+	}
 	t.mu.Lock()
 	for i, r := range reqs {
-		switch r.Method {
-		case kvpb.Put, kvpb.Delete:
-			t.mu.intents[string(r.Key)] = r.Key.Clone()
-		case kvpb.DeleteRange:
-			// The response reports which keys the range delete tombstoned.
-			if i < len(resp.Responses) {
-				for _, kv := range resp.Responses[i].Rows {
-					t.mu.intents[string(kv.Key)] = kv.Key.Clone()
-				}
+		if r.Method == kvpb.DeleteRange && i < len(resp.Responses) {
+			// The response reports which keys the range delete tombstoned;
+			// track them as point intents for precise resolution (the span
+			// recorded above stays as the safety net).
+			for _, kv := range resp.Responses[i].Rows {
+				t.mu.intents[string(kv.Key)] = kv.Key.Clone()
 			}
 		}
 	}
@@ -169,13 +199,14 @@ func (t *Txn) finish(ctx context.Context, commit bool) error {
 	for _, k := range t.mu.intents {
 		intents = append(intents, k)
 	}
+	spans := t.mu.spans
 	t.mu.Unlock()
 
-	if len(intents) == 0 {
+	if len(intents) == 0 && len(spans) == 0 {
 		return nil
 	}
 	trace.SpanFromContext(ctx).Eventf("resolve %d intents txn=%d commit=%v", len(intents), t.meta.ID, commit)
-	reqs := make([]kvpb.Request, 0, len(intents))
+	reqs := make([]kvpb.Request, 0, len(intents)+len(spans))
 	for _, k := range intents {
 		reqs = append(reqs, kvpb.Request{
 			Method:        kvpb.ResolveIntent,
@@ -185,11 +216,40 @@ func (t *Txn) finish(ctx context.Context, commit bool) error {
 			ResolveTs:     t.meta.Ts,
 		})
 	}
+	// DeleteRange footprints resolve by span: the leaseholder enumerates
+	// this transaction's intents itself, covering keys the coordinator never
+	// learned about because the batch failed after partial application.
+	for _, sp := range spans {
+		reqs = append(reqs, kvpb.Request{
+			Method:        kvpb.ResolveIntentRange,
+			Key:           sp.Key,
+			EndKey:        sp.EndKey,
+			ResolveTxnID:  t.meta.ID,
+			ResolveCommit: commit,
+			ResolveTs:     t.meta.Ts,
+		})
+	}
 	// Resolution is non-transactional and idempotent; retry on routing
-	// errors until it lands.
+	// errors until it lands. Each attempt honors cancellation, and retries
+	// back off with the same jittered schedule as RunTxn — resolution
+	// contends on exactly the lease/routing churn that failed the previous
+	// attempt, and a tight loop just re-collides with it.
 	ba := &kvpb.BatchRequest{Tenant: t.coord.tenant, Timestamp: t.meta.Ts, Requests: reqs}
+	const maxResolveAttempts = 8
 	var lastErr error
-	for attempt := 0; attempt < 8; attempt++ {
+	for attempt := 0; attempt < maxResolveAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("txn: resolving %d intents: %w", len(reqs), err)
+		}
+		if attempt > 0 {
+			shift := attempt - 1
+			if shift > 4 {
+				shift = 4
+			}
+			backoff := (100 * time.Microsecond) << uint(shift)
+			backoff += time.Duration(t.meta.ID%13) * 37 * time.Microsecond
+			t.coord.clock.Physical().Sleep(backoff)
+		}
 		if _, lastErr = t.coord.sender.Send(ctx, ba); lastErr == nil {
 			return nil
 		}
@@ -197,7 +257,7 @@ func (t *Txn) finish(ctx context.Context, commit bool) error {
 			return lastErr
 		}
 	}
-	return fmt.Errorf("txn: resolving %d intents: %w", len(intents), lastErr)
+	return fmt.Errorf("txn: resolving %d intents: %w", len(reqs), lastErr)
 }
 
 // RunTxn executes fn inside a transaction, retrying it from scratch on
