@@ -1,0 +1,38 @@
+// Positive cases for the lockscope check in a raftlite-scoped package:
+// clock sleeps and fault consults inside the group lock serialize every
+// concurrent proposer behind them.
+package raftlite
+
+import "sync"
+
+type clockIface struct{}
+
+func (clockIface) Sleep(d int64) {}
+
+type reg struct{}
+
+func (reg) Should(site string) bool { return false }
+
+type group struct {
+	mu     sync.Mutex
+	clock  clockIface
+	faults reg
+}
+
+func (g *group) commitWithSleepUnderLock(d int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock.Sleep(d) // want lockscope
+}
+
+func (g *group) consultUnderLock() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.faults.Should("raftlite.lease.expire") // want lockscope
+}
+
+// applyLocked carries the convention suffix, so a sleep inside it is flagged
+// even though the Lock call lives in its caller.
+func (g *group) applyLocked(d int64) {
+	g.clock.Sleep(d) // want lockscope
+}

@@ -37,10 +37,11 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		quick     = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos experiment; same seed reproduces the run")
+		kvMin     = flag.Float64("kvbench-min-speedup", 0, "fail kvbench if group_commit_speedup falls below this (0 disables the gate)")
 	)
 	flag.Parse()
 
-	exps := buildExperiments(*quick, *chaosSeed)
+	exps := buildExperiments(*quick, *chaosSeed, *kvMin)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
@@ -68,7 +69,7 @@ func main() {
 	}
 }
 
-func buildExperiments(quick bool, chaosSeed int64) []experiment {
+func buildExperiments(quick bool, chaosSeed int64, kvMinSpeedup float64) []experiment {
 	scale := func(full, small int) int {
 		if quick {
 			return small
@@ -160,7 +161,7 @@ func buildExperiments(quick bool, chaosSeed int64) []experiment {
 			}
 			return nil
 		}},
-		{"kvbench", "KV hot path: parallel fan-out speedup + LSM probe reduction; writes BENCH_kv.json", func() error {
+		{"kvbench", "KV hot path: fan-out + read-accel + write-path pipelining; writes BENCH_kv.json", func() error {
 			res, table, err := experiments.KVBench(experiments.KVBenchOptions{})
 			if err != nil {
 				return err
@@ -175,6 +176,10 @@ func buildExperiments(quick bool, chaosSeed int64) []experiment {
 				return err
 			}
 			fmt.Println("wrote BENCH_kv.json")
+			if kvMinSpeedup > 0 && res.GroupCommitSpeedup < kvMinSpeedup {
+				return fmt.Errorf("group_commit_speedup %.2fx below the %.2fx gate",
+					res.GroupCommitSpeedup, kvMinSpeedup)
+			}
 			return nil
 		}},
 		{"tracez", "observability: end-to-end request traces and the debug surfaces", func() error {

@@ -32,6 +32,7 @@ import (
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/orchestrator"
 	"crdbserverless/internal/proxy"
+	"crdbserverless/internal/raftlite"
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/sql"
 	"crdbserverless/internal/tenantcost"
@@ -169,6 +170,8 @@ func New(opts Options) (*Serverless, error) {
 	// lsm.reads / lsm.bloom.filtered / lsm.tables.probed exposition is
 	// cluster-wide, matching how the trace.* counters are aggregated.
 	lsmReadMetrics := lsm.NewReadMetrics(s.metrics)
+	lsmWriteMetrics := lsm.NewWriteMetrics(s.metrics)
+	commitMetrics := raftlite.NewCommitMetrics(s.metrics)
 	var nodes []*kvserver.Node
 	id := kvserver.NodeID(1)
 	for _, r := range opts.Regions {
@@ -179,13 +182,13 @@ func New(opts Options) (*Serverless, error) {
 				Region:           string(r),
 				Clock:            opts.Clock,
 				Cost:             cost,
-				LSM:              lsm.Options{Tracer: s.tracer, ReadMetrics: lsmReadMetrics},
+				LSM:              lsm.Options{Tracer: s.tracer, ReadMetrics: lsmReadMetrics, WriteMetrics: lsmWriteMetrics},
 				AdmissionEnabled: opts.AdmissionControl,
 			}))
 			id++
 		}
 	}
-	cluster, err := kvserver.NewCluster(kvserver.ClusterConfig{Clock: opts.Clock}, nodes)
+	cluster, err := kvserver.NewCluster(kvserver.ClusterConfig{Clock: opts.Clock, CommitMetrics: commitMetrics}, nodes)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,19 @@ type ClusterConfig struct {
 	// Faults, when non-nil, arms fault-injection sites in every range's
 	// replication group (see internal/faultinject).
 	Faults *faultinject.Registry
+	// DisableGroupCommit turns off proposal coalescing in every range's
+	// replication group: each Propose runs its own commit round, the
+	// pre-pipelining baseline (the write-path analogue of the LSM's
+	// DisableWritePipelining).
+	DisableGroupCommit bool
+	// CommitOverhead is the fixed per-commit-round cost charged inside each
+	// group's critical section (quorum RTT + log fsync). Zero — the default
+	// and every deterministic configuration — charges nothing; benchmarks
+	// set it to make the cost group commit amortizes visible.
+	CommitOverhead time.Duration
+	// CommitMetrics, when non-nil, is shared by every range's replication
+	// group (raft.commit.batch_size and friends).
+	CommitMetrics *raftlite.CommitMetrics
 }
 
 // rangeState is one range: descriptor, replication group, and stats.
@@ -238,11 +251,14 @@ func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*range
 		sms[i] = engineSM{n: n}
 	}
 	group, err := raftlite.NewGroup(raftlite.Config{
-		RangeID:       int64(id),
-		Clock:         c.clock,
-		Liveness:      c.liveness,
-		LeaseDuration: c.cfg.LeaseDuration,
-		Faults:        c.cfg.Faults,
+		RangeID:            int64(id),
+		Clock:              c.clock,
+		Liveness:           c.liveness,
+		LeaseDuration:      c.cfg.LeaseDuration,
+		Faults:             c.cfg.Faults,
+		DisableGroupCommit: c.cfg.DisableGroupCommit,
+		CommitOverhead:     c.cfg.CommitOverhead,
+		CommitMetrics:      c.cfg.CommitMetrics,
 	}, replicas, sms)
 	if err != nil {
 		return nil, err
@@ -667,7 +683,7 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 	}
 	sp.SetAttr("admission.wait", c.clock.Since(admitStart))
 
-	resp, evalErr := c.evaluateBatch(n, rs, ba)
+	resp, evalErr := c.evaluateBatch(ctx, n, rs, ba)
 	// Charge ground-truth CPU: the work happens whether or not evaluation
 	// errored (conflict checks consume CPU too), but successful responses
 	// carry the payload costs.
@@ -694,7 +710,7 @@ func hasReplica(rs *rangeState, nodeID NodeID) bool {
 
 // evaluateBatch runs the batch against the node's engine, proposing writes
 // through the range's replication group.
-func (c *Cluster) evaluateBatch(n *Node, rs *rangeState, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
+func (c *Cluster) evaluateBatch(ctx context.Context, n *Node, rs *rangeState, ba *kvpb.BatchRequest) (*kvpb.BatchResponse, error) {
 	readTs := ba.ReadTs()
 	if readTs.IsEmpty() {
 		readTs = c.hlc.Now()
@@ -829,7 +845,7 @@ func (c *Cluster) evaluateBatch(n *Node, rs *rangeState, ba *kvpb.BatchRequest) 
 		if err != nil {
 			return nil, err
 		}
-		if err := rs.group.Propose(n.id, payload); err != nil {
+		if err := rs.group.ProposeCtx(ctx, n.id, payload); err != nil {
 			return nil, err
 		}
 		rs.statsMu.Lock()

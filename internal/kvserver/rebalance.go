@@ -158,10 +158,13 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 		sms[i] = engineSM{n: n}
 	}
 	group, err := raftlite.NewGroup(raftlite.Config{
-		RangeID:       int64(rangeID),
-		Clock:         c.clock,
-		Liveness:      c.liveness,
-		LeaseDuration: c.cfg.LeaseDuration,
+		RangeID:            int64(rangeID),
+		Clock:              c.clock,
+		Liveness:           c.liveness,
+		LeaseDuration:      c.cfg.LeaseDuration,
+		DisableGroupCommit: c.cfg.DisableGroupCommit,
+		CommitOverhead:     c.cfg.CommitOverhead,
+		CommitMetrics:      c.cfg.CommitMetrics,
 	}, newReplicas, sms)
 	if err != nil {
 		return err

@@ -13,6 +13,12 @@
 //   - locksafety: mutex hygiene — a Lock with no Unlock on any path,
 //     `defer mu.Lock()` typos, by-value receivers/params of lock-bearing
 //     structs, and channel sends performed while a lock is held.
+//   - lockscope: in internal/lsm and internal/raftlite, no heavy work while
+//     a mutex is held — merge loops, SSTable builds, sorts, fault-site
+//     consults (which may sleep an injected Delay), and clock sleeps must
+//     run outside the critical section so flushes, compactions, and commit
+//     rounds never stall concurrent readers. Functions named *Locked are
+//     analyzed as if a caller's lock were held.
 //   - metricnames: metric registration uses literal `subsystem.name` names
 //     and never registers the same name twice.
 //   - spanfinish: every trace span started in a function (StartSpan,
@@ -42,7 +48,7 @@ import (
 )
 
 // Checks is the set of known check names, in reporting order.
-var Checks = []string{"directtime", "globalrand", "locksafety", "metricnames", "spanfinish"}
+var Checks = []string{"directtime", "globalrand", "lockscope", "locksafety", "metricnames", "spanfinish"}
 
 // Diagnostic is one reported violation.
 type Diagnostic struct {
@@ -182,6 +188,7 @@ func (t *Tree) Check() []Diagnostic {
 		diags = append(diags, checkDirectTime(f)...)
 		diags = append(diags, checkGlobalRand(f)...)
 		diags = append(diags, checkLockSafety(f, structIdx)...)
+		diags = append(diags, checkLockScope(f)...)
 		diags = append(diags, checkMetricNames(f, reg)...)
 		diags = append(diags, checkSpanFinish(f)...)
 	}

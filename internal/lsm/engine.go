@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/metric"
@@ -39,12 +40,20 @@ type Options struct {
 	// as root spans (lsm.flush / lsm.compact). The engine has no clock of
 	// its own; span timestamps come from the tracer's clock.
 	Tracer *trace.Tracer
+	// DisableWritePipelining restores the pre-pipelining write path:
+	// SSTable builds and compaction merges run inside the engine's
+	// exclusive lock, stalling readers for their duration. Benchmarks use
+	// it as the baseline, analogous to DisableReadAcceleration.
+	DisableWritePipelining bool
 	// ReadMetrics, when non-nil, receives the read-path counters. A
 	// deployment creates one ReadMetrics per registry and shares it across
 	// its engines (Registry panics on duplicate names, so per-engine
 	// registration is not an option). When nil the engine allocates
 	// private, unregistered counters so the Metrics snapshot still works.
 	ReadMetrics *ReadMetrics
+	// WriteMetrics, when non-nil, receives the write/maintenance-path
+	// counters; shared across engines like ReadMetrics.
+	WriteMetrics *WriteMetrics
 	// Faults, when non-nil, arms the engine's fault-injection sites:
 	// lsm.write.stall delays a write before it takes the engine lock,
 	// lsm.flush.error fails a memtable rotation (the memtable stays and is
@@ -101,6 +110,11 @@ type Metrics struct {
 	Reads         int64
 	BloomFiltered int64
 	TablesProbed  int64
+	// CompactionsCoalesced counts auto-compaction triggers that found
+	// another compaction already in flight and handed it the backlog
+	// instead of queueing behind the single-flight guard. Drawn from the
+	// engine's WriteMetrics counter, which may be shared like ReadMetrics.
+	CompactionsCoalesced int64
 }
 
 // ReadMetrics holds the read-path counters. One instance is shared by all
@@ -130,6 +144,36 @@ func newUnregisteredReadMetrics() *ReadMetrics {
 	}
 }
 
+// WriteMetrics holds the write/maintenance-path counters. One instance is
+// shared by all engines registered against the same metric.Registry; see
+// Options.WriteMetrics.
+type WriteMetrics struct {
+	// CompactCoalesced counts auto-compaction triggers absorbed by an
+	// already-running round (the single-flight guard).
+	CompactCoalesced *metric.Counter
+}
+
+// NewWriteMetrics registers the write-path counters on reg and returns the
+// shared instance to hand to each engine's Options.
+func NewWriteMetrics(reg *metric.Registry) *WriteMetrics {
+	return &WriteMetrics{
+		CompactCoalesced: reg.NewCounter("lsm.compact.coalesced"),
+	}
+}
+
+func newUnregisteredWriteMetrics() *WriteMetrics {
+	return &WriteMetrics{CompactCoalesced: &metric.Counter{}}
+}
+
+// flushJob is a rotated (immutable) memtable waiting for its SSTable build
+// to install. The table id is reserved at rotation time so id order — which
+// seeds the replacement memtable and orders L0 — matches rotation order even
+// when concurrent builds install out of order.
+type flushJob struct {
+	mem *memTable
+	id  uint64
+}
+
 // Engine is a single-node LSM storage engine. It is safe for concurrent use.
 type Engine struct {
 	opts Options
@@ -137,10 +181,25 @@ type Engine struct {
 	// readMetrics is Options.ReadMetrics or a private instance. The
 	// counters are atomic, so reads bump them under the shared RLock.
 	readMetrics *ReadMetrics
+	// writeMetrics is Options.WriteMetrics or a private instance.
+	writeMetrics *WriteMetrics
+
+	// compactMu is the compaction single-flight guard. Auto-compaction
+	// (maybeCompact) TryLocks it and counts a coalesced round on failure;
+	// manual Compact blocks on it. It is always acquired before e.mu, never
+	// while holding it.
+	compactMu sync.Mutex
+
+	// mergesActive counts compaction merges currently running outside the
+	// engine lock — a test hook for asserting reads stay unblocked.
+	mergesActive atomic.Int32
 
 	mu struct {
 		sync.RWMutex
-		mem     *memTable
+		mem *memTable
+		// imm holds rotated memtables whose SSTable builds are in flight,
+		// newest-first. Reads consult mem → imm → levels.
+		imm     []*flushJob
 		levels  [numLevels][]*ssTable // L0 newest-first; L1+ sorted, non-overlapping
 		nextID  uint64
 		metrics Metrics
@@ -157,6 +216,10 @@ func New(opts Options) *Engine {
 	e.readMetrics = e.opts.ReadMetrics
 	if e.readMetrics == nil {
 		e.readMetrics = newUnregisteredReadMetrics()
+	}
+	e.writeMetrics = e.opts.WriteMetrics
+	if e.writeMetrics == nil {
+		e.writeMetrics = newUnregisteredWriteMetrics()
 	}
 	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed))
 	e.mu.nextID = 1
@@ -196,16 +259,19 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 	}
 	e.mu.metrics.MemTableBytes = e.mu.mem.sizeB
 	var sp *trace.Span
+	var job *flushJob
 	var flushed bool
 	if e.mu.mem.sizeB >= e.opts.MemTableSize {
 		// A failed background flush is not a write failure: the entries are
 		// already durable in the memtable (and WAL, in a real engine) and the
 		// rotation is retried at the next threshold crossing.
-		sp, flushed, _ = e.flushLocked()
+		sp, job, flushed, _ = e.flushLocked()
 	}
-	auto := flushed && !e.opts.DisableAutoCompactions
 	e.mu.Unlock()
-	if auto {
+	if job != nil {
+		e.buildAndInstall(sp, job)
+	}
+	if flushed && !e.opts.DisableAutoCompactions {
 		e.maybeCompact()
 	}
 	sp.Finish()
@@ -227,6 +293,14 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 	e.readMetrics.Reads.Inc(1)
 	if ent, ok := e.mu.mem.get(key); ok {
 		return entryValue(ent)
+	}
+	// Immutable memtables whose SSTable builds are in flight, newest-first.
+	// They hold data that has left the active memtable but not yet reached
+	// L0; skipping them would un-ack acknowledged writes.
+	for _, j := range e.mu.imm {
+		if ent, ok := j.mem.get(key); ok {
+			return entryValue(ent)
+		}
 	}
 	accel := !e.opts.DisableReadAcceleration
 	// L0: newest first. Any L0 table may overlap the key, but the bloom
@@ -282,51 +356,105 @@ func entryValue(ent Entry) ([]byte, bool, error) {
 	return cloneBytes(ent.Value), true, nil
 }
 
-// Flush moves the active memtable into a new L0 sstable.
+// Flush moves the active memtable into a new L0 sstable. The flush is
+// complete — data queryable from L0, metrics updated — by the time Flush
+// returns, even though the build runs outside the engine lock.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	if e.mu.closed {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	sp, flushed, err := e.flushLocked()
-	auto := flushed && !e.opts.DisableAutoCompactions
+	sp, job, flushed, err := e.flushLocked()
 	e.mu.Unlock()
-	if auto {
+	if job != nil {
+		e.buildAndInstall(sp, job)
+	}
+	if flushed && !e.opts.DisableAutoCompactions {
 		e.maybeCompact()
 	}
 	sp.Finish()
 	return err
 }
 
-// flushLocked rotates the active memtable into a new L0 sstable. The caller
-// must hold e.mu (write-locked) and is responsible for finishing the
-// returned span after releasing the lock (and after any follow-up
-// compaction, which the span's duration is meant to cover). The boolean
-// reports whether a rotation happened; the span alone can't signal that,
-// since a nil Tracer yields nil spans for real flushes. An injected flush
-// error (lsm.flush.error) leaves the memtable in place — nothing is lost,
-// the rotation just didn't happen.
-func (e *Engine) flushLocked() (*trace.Span, bool, error) {
+// flushLocked rotates the active memtable. The caller must hold e.mu
+// (write-locked) and is responsible for two follow-ups after releasing it:
+// calling buildAndInstall on the returned job (nil in baseline mode, where
+// the build already happened here, under the lock), and finishing the
+// returned span (whose duration is meant to cover any follow-up
+// compaction). The boolean reports whether a rotation happened; the span
+// alone can't signal that, since a nil Tracer yields nil spans for real
+// flushes. An injected flush error (lsm.flush.error) leaves the memtable in
+// place — nothing is lost, the rotation just didn't happen.
+//
+// In the default pipelined mode the rotation is a pointer swap: the old
+// memtable joins e.mu.imm, where reads keep finding it, and the sort +
+// bloom build runs outside the lock on the calling goroutine. The
+// synchronous handoff — not a free-running background goroutine — is what
+// keeps same-seed runs byte-identical (DESIGN.md §8). The sstable id is
+// reserved here so id order matches rotation order; the replacement
+// memtable's seed derives from nextID exactly as the seed code did.
+func (e *Engine) flushLocked() (*trace.Span, *flushJob, bool, error) {
 	if e.mu.mem.empty() {
-		return nil, false, nil
+		return nil, nil, false, nil
 	}
+	//lint:allow lockscope fault site is delay-free by contract (Options.Faults)
 	if err := e.opts.Faults.MaybeErr("lsm.flush.error"); err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	sp := e.opts.Tracer.StartRoot("lsm.flush")
-	entries := e.mu.mem.entries()
-	t := newSSTable(e.mu.nextID, entries)
+	job := &flushJob{mem: e.mu.mem, id: e.mu.nextID}
 	e.mu.nextID++
-	// L0 is ordered newest-first so reads hit the freshest run first.
-	e.mu.levels[0] = append([]*ssTable{t}, e.mu.levels[0]...)
 	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed + int64(e.mu.nextID)))
+	e.mu.metrics.MemTableBytes = 0
+	if e.opts.DisableWritePipelining {
+		// Baseline: build the sstable inside the critical section, stalling
+		// every reader and writer for the duration (the seed behavior).
+		//lint:allow lockscope DisableWritePipelining baseline builds under the lock by design
+		t := newSSTable(job.id, job.mem.entries())
+		e.installFlushLocked(nil, t, sp)
+		return sp, nil, true, nil
+	}
+	e.mu.imm = append([]*flushJob{job}, e.mu.imm...)
+	return sp, job, true, nil
+}
+
+// buildAndInstall constructs the sstable for a rotated memtable outside the
+// engine lock and publishes it into L0. It runs synchronously on the
+// goroutine that triggered the rotation: readers are not blocked by the
+// build, yet the flush still completes before the write (or Flush call)
+// that caused it returns.
+func (e *Engine) buildAndInstall(sp *trace.Span, job *flushJob) {
+	t := newSSTable(job.id, job.mem.entries())
+	e.mu.Lock()
+	e.installFlushLocked(job, t, sp)
+	e.mu.Unlock()
+}
+
+// installFlushLocked publishes a built sstable into L0, retiring its flush
+// job from the immutable queue (job is nil on the baseline path, which
+// never queued one). L0 is kept ordered newest-first by table id, so
+// out-of-order installs from concurrent builds cannot invert shadowing.
+func (e *Engine) installFlushLocked(job *flushJob, t *ssTable, sp *trace.Span) {
+	if job != nil {
+		for i, j := range e.mu.imm {
+			if j == job {
+				e.mu.imm = append(e.mu.imm[:i], e.mu.imm[i+1:]...)
+				break
+			}
+		}
+	}
+	pos := sort.Search(len(e.mu.levels[0]), func(i int) bool {
+		return e.mu.levels[0][i].id < t.id
+	})
+	l0 := append(e.mu.levels[0], nil)
+	copy(l0[pos+1:], l0[pos:])
+	l0[pos] = t
+	e.mu.levels[0] = l0
 	e.mu.metrics.FlushedBytes += t.sizeB
 	e.mu.metrics.FlushCount++
-	e.mu.metrics.MemTableBytes = 0
 	sp.SetAttr("lsm.flushed_bytes", t.sizeB)
 	sp.SetAttr("lsm.l0_files", len(e.mu.levels[0]))
-	return sp, true, nil
 }
 
 // Metrics returns a snapshot of the engine's instrumentation.
@@ -341,7 +469,8 @@ func (e *Engine) Metrics() Metrics {
 		l0Bytes += t.sizeB
 	}
 	m.L0Bytes = l0Bytes
-	m.ReadAmplification = 1 + len(e.mu.levels[0])
+	// Each immutable memtable is one more sorted run a read may consult.
+	m.ReadAmplification = 1 + len(e.mu.imm) + len(e.mu.levels[0])
 	for lvl := 0; lvl < numLevels; lvl++ {
 		var b int64
 		for _, t := range e.mu.levels[lvl] {
@@ -355,6 +484,7 @@ func (e *Engine) Metrics() Metrics {
 	m.Reads = e.readMetrics.Reads.Value()
 	m.BloomFiltered = e.readMetrics.BloomFiltered.Value()
 	m.TablesProbed = e.readMetrics.TablesProbed.Value()
+	m.CompactionsCoalesced = e.writeMetrics.CompactCoalesced.Value()
 	return m
 }
 

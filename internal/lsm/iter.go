@@ -38,6 +38,22 @@ func (e *Engine) NewIter(lo, hi []byte) *Iterator {
 	}
 	prio++
 
+	// Immutable memtables (rotated, build in flight) are newer than any
+	// sstable; the queue is newest-first.
+	for _, j := range e.mu.imm {
+		var immEntries []Entry
+		for n := j.mem.seek(lo); n != nil; n = n.next[0] {
+			if hi != nil && bytes.Compare(n.key, hi) >= 0 {
+				break
+			}
+			immEntries = append(immEntries, n.entry)
+		}
+		if len(immEntries) > 0 {
+			it.h = append(it.h, &iterCursor{entries: immEntries, prio: prio})
+		}
+		prio++
+	}
+
 	// L0 newest-first, then deeper levels.
 	for _, t := range e.mu.levels[0] {
 		if c := cursorFor(t, lo, hi, prio); c != nil {

@@ -9,6 +9,7 @@
 package raftlite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,7 +17,9 @@ import (
 
 	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/metric"
 	"crdbserverless/internal/timeutil"
+	"crdbserverless/internal/trace"
 )
 
 // NodeID identifies a node hosting replicas.
@@ -58,6 +61,56 @@ type entry struct {
 	cmd  []byte
 }
 
+// CommitMetrics holds the group-commit instrumentation. One instance is
+// shared by every Group registered against the same metric.Registry (the
+// Registry panics on duplicate names, so per-group registration is not an
+// option), mirroring lsm.ReadMetrics.
+type CommitMetrics struct {
+	// BatchSize is the raft.commit.batch_size histogram: entries committed
+	// per commit round. Histogram buckets are duration-typed, so a round of
+	// n entries records as n nanoseconds — a unit pun that keeps the
+	// exposition machinery unchanged (1ns tick = 1 entry).
+	BatchSize *metric.Histogram
+	// Batches and Entries count commit rounds and committed entries; their
+	// ratio is the realized group-commit factor.
+	Batches *metric.Counter
+	Entries *metric.Counter
+}
+
+// NewCommitMetrics registers the commit-round instrumentation on reg and
+// returns the shared instance to hand to each Group's Config.
+func NewCommitMetrics(reg *metric.Registry) *CommitMetrics {
+	return &CommitMetrics{
+		BatchSize: reg.NewHistogram("raft.commit.batch_size"),
+		Batches:   reg.NewCounter("raft.commit.batches"),
+		Entries:   reg.NewCounter("raft.commit.entries"),
+	}
+}
+
+// record notes one commit round of n entries. Nil-safe: groups without
+// metrics pay only the nil check.
+func (m *CommitMetrics) record(n int) {
+	if m == nil {
+		return
+	}
+	m.BatchSize.Record(time.Duration(n))
+	m.Batches.Inc(1)
+	m.Entries.Inc(int64(n))
+}
+
+// proposal is one waiter in the group-commit queue.
+type proposal struct {
+	node NodeID
+	cmd  []byte
+	// index is the log index assigned at append (0 when rejected), and
+	// batch the number of entries committed by the round that served this
+	// proposal; both are read only after done is closed.
+	index uint64
+	batch int
+	err   error
+	done  chan struct{}
+}
+
 type peer struct {
 	id      NodeID
 	sm      StateMachine
@@ -66,11 +119,23 @@ type peer struct {
 
 // Group is a single range's replication group.
 type Group struct {
-	rangeID  int64
-	clock    timeutil.Clock
-	live     LivenessFunc
-	leaseDur time.Duration
-	faults   *faultinject.Registry
+	rangeID        int64
+	clock          timeutil.Clock
+	live           LivenessFunc
+	leaseDur       time.Duration
+	faults         *faultinject.Registry
+	commitOverhead time.Duration
+	disableGroup   bool
+	commitMetrics  *CommitMetrics
+
+	// seq is the group-commit sequencer: proposers enqueue, the first
+	// arrival becomes the round leader and drains the queue into commit
+	// rounds. seq.mu orders the queue and is never held across a round.
+	seq struct {
+		mu      sync.Mutex
+		queue   []*proposal
+		leading bool
+	}
 
 	mu     sync.Mutex
 	term   uint64
@@ -91,7 +156,22 @@ type Config struct {
 	LeaseDuration time.Duration
 	// Faults, when non-nil, arms the group's fault-injection sites
 	// (raftlite.propose.delay, raftlite.propose.err, raftlite.lease.expire).
+	// The lease.expire site is consulted under the group lock, so configure
+	// it without a Delay.
 	Faults *faultinject.Registry
+	// DisableGroupCommit forces one commit round per proposal — the
+	// pre-group-commit write path. Benchmarks use it as the baseline, the
+	// same role lsm.Options.DisableReadAcceleration plays for reads.
+	DisableGroupCommit bool
+	// CommitOverhead models the fixed cost of one commit round (quorum
+	// round-trip + log sync) as a sleep while the round is in flight. Group
+	// commit amortizes it over the batch. Zero, the default, skips the
+	// sleep entirely, keeping simulated-clock and chaos runs unchanged.
+	CommitOverhead time.Duration
+	// CommitMetrics, when non-nil, receives the commit-round
+	// instrumentation (raft.commit.batch_size and friends). Shared across
+	// groups; see NewCommitMetrics.
+	CommitMetrics *CommitMetrics
 }
 
 // NewGroup creates a replication group over the given nodes. Each node's
@@ -110,12 +190,15 @@ func NewGroup(cfg Config, nodes []NodeID, sms []StateMachine) (*Group, error) {
 		cfg.LeaseDuration = 9 * time.Second
 	}
 	g := &Group{
-		rangeID:  cfg.RangeID,
-		clock:    cfg.Clock,
-		live:     cfg.Liveness,
-		leaseDur: cfg.LeaseDuration,
-		faults:   cfg.Faults,
-		term:     1,
+		rangeID:        cfg.RangeID,
+		clock:          cfg.Clock,
+		live:           cfg.Liveness,
+		leaseDur:       cfg.LeaseDuration,
+		faults:         cfg.Faults,
+		commitOverhead: cfg.CommitOverhead,
+		disableGroup:   cfg.DisableGroupCommit,
+		commitMetrics:  cfg.CommitMetrics,
+		term:           1,
 	}
 	for i, id := range nodes {
 		g.peers = append(g.peers, &peer{id: id, sm: sms[i]})
@@ -232,25 +315,123 @@ func (g *Group) ExtendLease(node NodeID) error {
 
 // Propose replicates cmd through the group on behalf of node, which must
 // hold a valid lease. On success the command is committed and applied to
-// every live replica; dead replicas catch up when they next apply.
+// every live replica; dead replicas catch up when they next apply. See
+// ProposeCtx for the group-commit mechanics.
 func (g *Group) Propose(node NodeID, cmd []byte) error {
-	// Fault sites, consulted before the group lock so configured delays do
-	// not sleep under it: a scheduling delay before the proposal enters the
-	// group, and an outright proposal failure (dropped before append — the
-	// caller sees an error and nothing replicated).
+	return g.ProposeCtx(context.Background(), node, cmd)
+}
+
+// ProposeCtx is Propose with trace propagation: if ctx carries a span, the
+// commit outcome is recorded on it as an event (never a child span, so
+// Fig-10-style decompositions of the parent keep summing exactly).
+//
+// Concurrent proposals are coalesced by a group-commit sequencer: the first
+// proposer to find no round in flight becomes the leader, drains the queue,
+// and runs one append+quorum+apply round for the whole batch, waking every
+// waiter with its per-entry result. The queue is FIFO and the leader appends
+// in arrival order, so proposals never reorder. Admission (lease validity,
+// proposer liveness, quorum of live acks) is checked per proposal inside the
+// round: a rejected proposal neither blocks nor fails its round-mates. With
+// exactly one proposer at a time — every deterministic single-threaded
+// harness in this repo — each round carries exactly one entry and the
+// observable behavior (fault-consult order, clock reads, apply order) is
+// identical to the pre-batching path.
+func (g *Group) ProposeCtx(ctx context.Context, node NodeID, cmd []byte) error {
+	// Fault sites, consulted before the sequencer and the group lock so
+	// configured delays do not sleep under either: a scheduling delay before
+	// the proposal enters the group, and an outright proposal failure
+	// (dropped before append — the caller sees an error and nothing
+	// replicated).
 	g.faults.Should("raftlite.propose.delay")
 	if err := g.faults.MaybeErr("raftlite.propose.err"); err != nil {
 		return err
 	}
+	p := &proposal{node: node, cmd: cmd, done: make(chan struct{})}
+	if g.disableGroup {
+		// Baseline: one commit round per proposal, no coalescing.
+		g.commitRound([]*proposal{p})
+		g.traceCommit(ctx, p)
+		return p.err
+	}
+	g.seq.mu.Lock()
+	g.seq.queue = append(g.seq.queue, p)
+	if g.seq.leading {
+		// A leader is draining the queue; it will carry this proposal in
+		// its next round.
+		g.seq.mu.Unlock()
+		<-p.done
+		g.traceCommit(ctx, p)
+		return p.err
+	}
+	g.seq.leading = true
+	for len(g.seq.queue) > 0 {
+		batch := g.seq.queue
+		g.seq.queue = nil
+		g.seq.mu.Unlock()
+		g.commitRound(batch)
+		g.seq.mu.Lock()
+	}
+	g.seq.leading = false
+	g.seq.mu.Unlock()
+	g.traceCommit(ctx, p)
+	return p.err
+}
+
+// commitRound runs one append+quorum+apply round for a batch of proposals,
+// filling each proposal's err/index, and wakes the waiters.
+func (g *Group) commitRound(batch []*proposal) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	now := g.clock.Now()
+	//lint:allow lockscope fault site is delay-free by contract (Config.Faults)
 	if g.faults.Should("raftlite.lease.expire") {
 		// Simulated lease loss (a liveness blip reaching the lease record):
-		// force-expire so the validity check below redirects the proposer
+		// force-expire so the validity check below redirects the proposers
 		// into reacquisition.
 		g.lease.Expiration = now
 	}
+	appended := 0
+	for _, p := range batch {
+		if p.err = g.admitProposalLocked(p.node, now); p.err != nil {
+			continue
+		}
+		g.log = append(g.log, entry{term: g.term, cmd: p.cmd})
+		p.index = uint64(len(g.log))
+		appended++
+	}
+	if appended > 0 {
+		if g.commitOverhead > 0 {
+			// One quorum round-trip + log sync per commit round. Rounds are
+			// serialized at the leader — an unpipelined log has at most one
+			// round in flight — so the sleep stays inside the critical
+			// section: that serialization is precisely the cost group
+			// commit amortizes over the batch.
+			//lint:allow lockscope models the serialized commit round; zero in every deterministic config
+			g.clock.Sleep(g.commitOverhead)
+		}
+		g.commit = uint64(len(g.log))
+		if roundErr := g.applyCommittedLocked(); roundErr != nil {
+			// An apply error surfaces on every proposal that committed in
+			// this round, matching the old one-proposal-per-round path where
+			// the lone proposer received it.
+			for _, p := range batch {
+				if p.err == nil {
+					p.err = roundErr
+				}
+			}
+		}
+		g.commitMetrics.record(appended)
+	}
+	g.mu.Unlock()
+	for _, p := range batch {
+		p.batch = appended
+		close(p.done)
+	}
+}
+
+// admitProposalLocked checks whether node may commit a proposal right now:
+// it must hold a valid lease, be live, and see a quorum of live replicas
+// (the proposer acks implicitly).
+func (g *Group) admitProposalLocked(node NodeID, now time.Time) error {
 	if !g.lease.Valid(now) || g.lease.Holder != node {
 		holder := g.lease.Holder
 		if !g.lease.Valid(now) {
@@ -261,7 +442,6 @@ func (g *Group) Propose(node NodeID, cmd []byte) error {
 	if !g.live(node) {
 		return ErrNoQuorum
 	}
-	// Count acks from live replicas (the proposer acks implicitly).
 	acks := 0
 	for _, p := range g.peers {
 		if g.live(p.id) {
@@ -271,9 +451,36 @@ func (g *Group) Propose(node NodeID, cmd []byte) error {
 	if acks < g.quorum() {
 		return ErrNoQuorum
 	}
-	g.log = append(g.log, entry{term: g.term, cmd: cmd})
-	g.commit = uint64(len(g.log))
-	return g.applyCommittedLocked()
+	return nil
+}
+
+// traceCommit records the commit outcome on the caller's span. Events carry
+// error classes, never error strings, per the determinism rules (DESIGN.md
+// §9). Nil-safe: an untraced ctx costs one nil check.
+func (g *Group) traceCommit(ctx context.Context, p *proposal) {
+	sp := trace.SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	if p.err != nil {
+		sp.Eventf("raft.commit: r%d rejected (%s)", g.rangeID, proposalErrClass(p.err))
+		return
+	}
+	sp.Eventf("raft.commit: r%d index=%d batch=%d", g.rangeID, p.index, p.batch)
+}
+
+// proposalErrClass maps a proposal error to a stable class name for trace
+// events.
+func proposalErrClass(err error) string {
+	var nle *kvpb.NotLeaseholderError
+	switch {
+	case errors.As(err, &nle):
+		return "not_leaseholder"
+	case errors.Is(err, ErrNoQuorum):
+		return "no_quorum"
+	default:
+		return "apply_error"
+	}
 }
 
 // applyCommittedLocked applies newly committed entries to every live peer,

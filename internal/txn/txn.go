@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -201,6 +202,12 @@ func (t *Txn) finish(ctx context.Context, commit bool) error {
 	}
 	spans := t.mu.spans
 	t.mu.Unlock()
+	// Key order, not map order: the resolution batch's request order decides
+	// which key a redirect retry re-routes by, so map iteration here made
+	// the fault-consult schedule — and with it same-seed chaos replay —
+	// depend on Go's per-run map randomization whenever a fresh split
+	// divided a transaction's footprint.
+	sort.Slice(intents, func(i, j int) bool { return intents[i].Less(intents[j]) })
 
 	if len(intents) == 0 && len(spans) == 0 {
 		return nil
