@@ -108,3 +108,56 @@ func TestRepoTreeClean(t *testing.T) {
 		t.Errorf("live tree violation: %s", d)
 	}
 }
+
+// TestChecksFilter runs only maporder over the corpus and requires that no
+// other check's diagnostics leak through (directive findings for enabled
+// checks stay, by design).
+func TestChecksFilter(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	diags, err := lint.RunOpts(root, lint.Options{Checks: []string{"maporder"}})
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	sawMapOrder := false
+	for _, d := range diags {
+		switch d.Check {
+		case "maporder":
+			sawMapOrder = true
+		case "lintdirective":
+			// malformed or unused directives are still reported
+		default:
+			t.Errorf("check filter leaked a %s diagnostic: %s", d.Check, d)
+		}
+	}
+	if !sawMapOrder {
+		t.Error("no maporder diagnostics from the corpus with the check enabled")
+	}
+}
+
+// TestChecksFilterUnknown rejects a check name that does not exist.
+func TestChecksFilterUnknown(t *testing.T) {
+	_, err := lint.RunOpts(filepath.Join("testdata", "src"), lint.Options{Checks: []string{"nosuchcheck"}})
+	if err == nil || !strings.Contains(err.Error(), "nosuchcheck") {
+		t.Fatalf("err = %v, want an unknown-check error naming nosuchcheck", err)
+	}
+}
+
+// TestUnderAny covers the module-root widening filter.
+func TestUnderAny(t *testing.T) {
+	root := "repo"
+	for _, tc := range []struct {
+		file string
+		subs []string
+		want bool
+	}{
+		{"repo/internal/lint/a.go", []string{"."}, true},
+		{"repo/internal/lint/a.go", []string{"internal/lint"}, true},
+		{"repo/internal/lint/a.go", []string{"internal"}, true},
+		{"repo/internal/lint/a.go", []string{"cmd"}, false},
+		{"repo/internal/linter/a.go", []string{"internal/lint"}, false},
+	} {
+		if got := underAny(root, tc.file, tc.subs); got != tc.want {
+			t.Errorf("underAny(%q, %v) = %v, want %v", tc.file, tc.subs, got, tc.want)
+		}
+	}
+}

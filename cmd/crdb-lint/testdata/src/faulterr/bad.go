@@ -1,0 +1,31 @@
+// Any call whose callee transitively consults a fault-injection site can
+// fail on demand under simulation, so dropping its error hides a schedule's
+// fault instead of propagating it.
+package faulterr
+
+import "faultinject"
+
+type store struct {
+	faults *faultinject.Registry
+}
+
+// write consults a fault site directly.
+func (s *store) write(key string) error {
+	if err := s.faults.MaybeErr("store.write.err"); err != nil {
+		return err
+	}
+	_ = key
+	return nil
+}
+
+// flush reaches a fault site transitively through write.
+func (s *store) flush() error {
+	return s.write("flush")
+}
+
+func dropsErrors(s *store) {
+	s.write("a")       // want faulterr
+	_ = s.flush()      // want faulterr
+	go s.flush()       // want faulterr
+	defer s.write("b") // want faulterr
+}

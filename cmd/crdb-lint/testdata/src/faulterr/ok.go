@@ -1,0 +1,16 @@
+package faulterr
+
+// checksErrors handles every fault-reaching call's error.
+func checksErrors(s *store) error {
+	if err := s.write("a"); err != nil {
+		return err
+	}
+	err := s.flush()
+	return err
+}
+
+// allowedDrop documents why the error is intentionally dropped.
+func allowedDrop(s *store) {
+	//lint:allow faulterr best-effort cleanup; the primary error has already been returned
+	_ = s.flush()
+}

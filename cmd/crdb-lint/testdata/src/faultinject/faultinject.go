@@ -1,0 +1,20 @@
+// Package faultinject is the corpus stand-in for the real fault injector.
+// The faulterr check recognizes consultation sites by the package's
+// import-path suffix, so this twin only needs the consultation methods.
+package faultinject
+
+import "errors"
+
+// Registry is the corpus twin of the real seed-driven registry.
+type Registry struct{}
+
+// Should reports whether the named site fires this consultation.
+func (r *Registry) Should(name string) bool { return r != nil }
+
+// MaybeErr returns an injected error when the named site fires.
+func (r *Registry) MaybeErr(name string) error {
+	if r.Should(name) {
+		return errors.New(name)
+	}
+	return nil
+}

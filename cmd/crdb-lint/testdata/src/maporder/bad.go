@@ -1,0 +1,37 @@
+// Ranging over a map must not let the nondeterministic iteration order
+// escape into observable behavior: appended slices, channel sends, formatted
+// output, or calls into order-observable code.
+package maporder
+
+import "fmt"
+
+func appendsInMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+func sendsInMapOrder(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want maporder
+	}
+}
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want maporder
+	}
+}
+
+// emit is order-observable: it sends on a channel.
+func emit(ch chan string, s string) {
+	ch <- s
+}
+
+func callsOrderedCallee(m map[string]int, ch chan string) {
+	for k := range m {
+		emit(ch, k) // want maporder
+	}
+}

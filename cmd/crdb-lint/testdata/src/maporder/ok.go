@@ -1,0 +1,41 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedAfter collects then sorts, so the escape is deterministic.
+func sortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedThenPrinted ranges the sorted slice, not the map, when printing.
+func sortedThenPrinted(m map[string]int) {
+	for _, k := range sortedAfter(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// aggregate is a pure reduction; order cannot be observed.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// allowedAppend documents why unsorted order is acceptable.
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow maporder the only caller treats the result as a set
+	}
+	return keys
+}

@@ -298,8 +298,8 @@ func (s *Serverless) SQLSession(tenantName string) (*Session, error) {
 
 // Suspend scales a tenant to zero compute.
 func (s *Serverless) Suspend(ctx context.Context, tenantName string) error {
-	for _, orch := range s.orchestrators {
-		if err := orch.SuspendTenant(ctx, tenantName); err != nil && err != core.ErrTenantNotFound {
+	for _, r := range s.opts.Regions {
+		if err := s.orchestrators[r].SuspendTenant(ctx, tenantName); err != nil && err != core.ErrTenantNotFound {
 			return err
 		}
 	}
@@ -311,8 +311,8 @@ func (s *Serverless) Suspend(ctx context.Context, tenantName string) error {
 // autoscaler. Call at ~3s cadence (a manual clock drives experiments).
 func (s *Serverless) Tick(ctx context.Context) error {
 	s.cluster.Tick()
-	for _, a := range s.autoscalers {
-		if err := a.Tick(ctx); err != nil {
+	for _, r := range s.opts.Regions {
+		if err := s.autoscalers[r].Tick(ctx); err != nil {
 			return err
 		}
 	}
@@ -321,11 +321,13 @@ func (s *Serverless) Tick(ctx context.Context) error {
 
 // Close shuts the deployment down.
 func (s *Serverless) Close() {
-	for _, p := range s.proxies {
-		p.Close()
-	}
-	for _, o := range s.orchestrators {
-		o.Close()
+	for _, r := range s.opts.Regions {
+		if p := s.proxies[r]; p != nil {
+			p.Close()
+		}
+		if o := s.orchestrators[r]; o != nil {
+			o.Close()
+		}
 	}
 	if s.cluster != nil {
 		s.cluster.Close()

@@ -57,8 +57,13 @@ func main() {
 	})
 
 	ctx := context.Background()
-	tenant, _ := reg.CreateTenant(ctx, "sleepy", core.TenantOptions{})
-	orch.ScaleTenant(ctx, tenant, 1)
+	tenant, err := reg.CreateTenant(ctx, "sleepy", core.TenantOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := orch.ScaleTenant(ctx, tenant, 1); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("tenant 'sleepy' active with 1 SQL node; going idle...")
 	for i := 0; i < 130; i++ { // ~6.5 simulated minutes of silence
 		clock.Advance(3 * time.Second)

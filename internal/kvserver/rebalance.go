@@ -176,6 +176,7 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 	if hadLease && prevLH != from {
 		newLH = prevLH
 	}
+	//lint:allow faulterr lease restore after a replica move is best-effort; the next request re-acquires
 	_ = group.AcquireLease(newLH)
 
 	newDesc := desc.clone()

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// funcNode is one declared function or method in the tree, with the summary
+// facts the interprocedural checks consume.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	file *file
+	pkg  *Package
+
+	// callees are the statically resolvable in-tree functions this function
+	// may call, including conservative devirtualizations of interface-method
+	// calls (see calleesOf) and calls made inside nested function literals
+	// (a closure is assumed to run).
+	callees []*funcNode
+
+	// consultsFault: the function (transitively) consults a faultinject
+	// site — Registry.Should or Registry.MaybeErr — so an injected fault
+	// may surface through it.
+	consultsFault bool
+	// ordered: the function (transitively) performs an order-observable
+	// effect — a channel send, a trace/metric/wire call, or a fault-site
+	// consult — so calling it per-iteration leaks iteration order into
+	// observable behavior.
+	ordered bool
+	// acquires is the set of lock classes the function may (transitively)
+	// acquire; lockorder projects edges through it.
+	acquires map[lockClass]bool
+}
+
+// callGraph indexes every declared function in the tree and the interface
+// methods they may dispatch to, then computes per-function summaries to a
+// fixpoint.
+type callGraph struct {
+	tree  *Tree
+	info  *types.Info
+	funcs map[*types.Func]*funcNode
+	// methodsByName groups in-tree methods by name for the interface
+	// devirtualization pass.
+	methodsByName map[string][]*funcNode
+}
+
+// buildCallGraph enumerates functions across the type-checked packages,
+// resolves call edges, and runs the summary fixpoints.
+func buildCallGraph(t *Tree) *callGraph {
+	cg := &callGraph{
+		tree:          t,
+		info:          t.info,
+		funcs:         map[*types.Func]*funcNode{},
+		methodsByName: map[string][]*funcNode{},
+	}
+	for _, p := range t.pkgs {
+		if !p.typeOK() {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := t.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &funcNode{obj: obj, decl: fd, file: f, pkg: p, acquires: map[lockClass]bool{}}
+				cg.funcs[obj] = fn
+				if fd.Recv != nil {
+					cg.methodsByName[fd.Name.Name] = append(cg.methodsByName[fd.Name.Name], fn)
+				}
+			}
+		}
+	}
+	for _, fn := range cg.funcs {
+		fn.callees = cg.calleesIn(fn.decl.Body)
+		fn.consultsFault = cg.directFaultConsult(fn.decl.Body)
+		fn.ordered = fn.consultsFault || cg.directOrdered(fn.decl.Body)
+	}
+	cg.propagate()
+	return cg
+}
+
+// sortedFuncs returns every function node in deterministic order (by
+// position), for checks that iterate the graph.
+func (cg *callGraph) sortedFuncs() []*funcNode {
+	fns := make([]*funcNode, 0, len(cg.funcs))
+	for _, fn := range cg.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].decl.Pos() < fns[j].decl.Pos() })
+	return fns
+}
+
+// calleesIn collects the resolvable callees of every call expression under
+// n, nested function literals included.
+func (cg *callGraph) calleesIn(n ast.Node) []*funcNode {
+	var out []*funcNode
+	seen := map[*funcNode]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, fn := range cg.calleesOf(call) {
+			if !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].decl.Pos() < out[j].decl.Pos() })
+	return out
+}
+
+// calleesOf resolves one call expression to the in-tree functions it may
+// reach. A direct function or concrete-method call resolves exactly. An
+// interface-method call devirtualizes to every in-tree method whose receiver
+// type implements the interface (class-hierarchy style: sound for in-tree
+// implementations, which is the linter's scope).
+func (cg *callGraph) calleesOf(call *ast.CallExpr) []*funcNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := cg.info.Uses[fun].(*types.Func); ok {
+			if fn := cg.funcs[f]; fn != nil {
+				return []*funcNode{fn}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := cg.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			m, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if fn := cg.funcs[m]; fn != nil {
+				return []*funcNode{fn} // concrete in-tree method
+			}
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return cg.implementations(iface, m)
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn) has no selection entry.
+		if f, ok := cg.info.Uses[fun.Sel].(*types.Func); ok {
+			if fn := cg.funcs[f]; fn != nil {
+				return []*funcNode{fn}
+			}
+		}
+	}
+	return nil
+}
+
+// implementations returns the in-tree methods named like m whose receiver
+// type satisfies iface.
+func (cg *callGraph) implementations(iface *types.Interface, m *types.Func) []*funcNode {
+	var out []*funcNode
+	for _, cand := range cg.methodsByName[m.Name()] {
+		sig, ok := cand.obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// faultConsultMethods are the faultinject.Registry entry points that advance
+// a site's schedule (and may sleep or return an injected error).
+var faultConsultMethods = map[string]bool{"Should": true, "MaybeErr": true}
+
+// isFaultinjectPkg matches the fault-injection package by import-path suffix
+// so the golden corpus can model it under its own root.
+func isFaultinjectPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == "faultinject" || strings.HasSuffix(p, "/faultinject")
+}
+
+// directFaultConsult reports whether the body directly calls a fault-site
+// consult.
+func (cg *callGraph) directFaultConsult(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj, ok := cg.info.Uses[sel.Sel].(*types.Func); ok &&
+				faultConsultMethods[obj.Name()] && isFaultinjectPkg(obj.Pkg()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// orderedPkgSuffixes name the packages whose calls make iteration order
+// observable: trace events, metric samples, and wire frames are all
+// externally visible sequences.
+var orderedPkgSuffixes = []string{"/trace", "/metric", "/wire"}
+
+// isOrderedPkg reports whether pkg's effects are order-observable.
+func isOrderedPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	for _, suf := range orderedPkgSuffixes {
+		if strings.HasSuffix(p, suf) || p == suf[1:] {
+			return true
+		}
+	}
+	return false
+}
+
+// directOrdered reports whether the body itself performs an order-observable
+// effect: a channel send or a call into an ordered package.
+func (cg *callGraph) directOrdered(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if obj := calleeObj(cg.info, n); obj != nil && isOrderedPkg(obj.Pkg()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeObj resolves the called function object (in-tree or not) of a call
+// expression, or nil for builtins, conversions, and dynamic calls.
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// propagate runs the summary fixpoints: consultsFault and ordered flow from
+// callee to caller until stable.
+func (cg *callGraph) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.funcs {
+			for _, callee := range fn.callees {
+				if callee.consultsFault && !fn.consultsFault {
+					fn.consultsFault = true
+					fn.ordered = true
+					changed = true
+				}
+				if callee.ordered && !fn.ordered {
+					fn.ordered = true
+					changed = true
+				}
+			}
+		}
+	}
+}

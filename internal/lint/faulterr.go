@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkFaultErr enforces that injected faults can never be silently dropped:
+// any call whose callee (transitively, through the module call graph —
+// interface calls included via their in-tree implementations) consults a
+// faultinject site and returns an error must have that error consumed. The
+// flagged shapes are the ones that structurally discard it:
+//
+//   - the call as a bare expression statement (result dropped);
+//   - the error position assigned to the blank identifier;
+//   - `go f(...)` / `defer f(...)` on such a call (the result is
+//     unrecoverable).
+//
+// Binding the error to a variable counts as consuming it — `go vet` and the
+// compiler's unused-variable check own the rest of that story. The check
+// runs everywhere except inside the faultinject package itself.
+func checkFaultErr(cg *callGraph, fn *funcNode) []Diagnostic {
+	if isFaultinjectPkg(fn.pkg.Types) {
+		return nil
+	}
+	var diags []Diagnostic
+	flag := func(n ast.Node, call *ast.CallExpr, how string) {
+		name := callName(cg.info, call)
+		diags = append(diags, Diagnostic{
+			Pos:   cg.tree.fset.Position(n.Pos()),
+			Check: "faulterr",
+			Message: fmt.Sprintf("%s of %s drops its error, but the callee can return an injected fault; check the error",
+				how, name),
+		})
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && cg.faultErrCall(call) {
+				flag(st, call, "statement-level call")
+			}
+		case *ast.GoStmt:
+			if cg.faultErrCall(st.Call) {
+				flag(st, st.Call, "go statement")
+			}
+		case *ast.DeferStmt:
+			if cg.faultErrCall(st.Call) {
+				flag(st, st.Call, "defer statement")
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !cg.faultErrCall(call) {
+				return true
+			}
+			// The error is the call's last result; with the multi-value
+			// assign form it lands in the last LHS position.
+			if last, ok := st.Lhs[len(st.Lhs)-1].(*ast.Ident); ok && last.Name == "_" {
+				flag(last, call, "blank assignment")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// faultErrCall reports whether the call returns an error and may surface an
+// injected fault: a fault-consulting resolved callee, or an interface-method
+// call any of whose in-tree implementations consult a fault site.
+func (cg *callGraph) faultErrCall(call *ast.CallExpr) bool {
+	tv, ok := cg.info.Types[call]
+	if !ok || !lastResultIsError(tv.Type) {
+		return false
+	}
+	for _, callee := range cg.calleesOf(call) {
+		if callee.consultsFault {
+			return true
+		}
+	}
+	// A direct (non-devirtualized) call to a consult entry point itself:
+	// MaybeErr returns the injected error.
+	if obj := calleeObj(cg.info, call); obj != nil &&
+		faultConsultMethods[obj.Name()] && isFaultinjectPkg(obj.Pkg()) {
+		return true
+	}
+	return false
+}
+
+// lastResultIsError reports whether a call's result type ends in error.
+func lastResultIsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callName renders a call's callee for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeObj(info, call); obj != nil {
+		return obj.Name()
+	}
+	return types.ExprString(call.Fun)
+}

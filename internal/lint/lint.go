@@ -1,24 +1,48 @@
 // Package lint implements crdb-lint, a from-scratch static analyzer (stdlib
-// only: go/parser, go/ast, go/token) that enforces the repository's
-// correctness invariants:
+// only: go/parser, go/ast, go/token, go/types, go/importer) that enforces the
+// repository's correctness invariants.
+//
+// Two layers of analysis feed the checks. The syntactic layer walks each
+// file's AST. The type-checked layer loads every in-module package in
+// dependency order through go/types (stdlib imports resolve via go/importer),
+// builds a module-wide call graph — interface calls devirtualize to their
+// in-tree implementations — and computes per-function summaries (fault-site
+// consults, order-observable effects, lock acquisitions) to a fixpoint, so
+// the interprocedural checks reason across package boundaries.
+//
+// Checks:
 //
 //   - directtime: no direct time.Now/Sleep/After/... calls outside
 //     internal/timeutil and _test.go files; components thread a
 //     timeutil.Clock so the simulator and the latency experiments stay
 //     deterministic.
+//   - faulterr: a call whose callee transitively consults a faultinject
+//     site must not structurally drop its error result (bare expression
+//     statement, blank assignment, go/defer) — an injected fault that is
+//     silently swallowed turns every chaos run into a false negative.
 //   - globalrand: no global math/rand functions anywhere, and no
 //     rand.New/rand.NewSource outside internal/randutil and tests; RNGs are
 //     threaded explicitly (randutil.NewRand/Fork) so every run is
 //     reproducible. Seeding any source from time.Now is flagged everywhere.
-//   - locksafety: mutex hygiene — a Lock with no Unlock on any path,
-//     `defer mu.Lock()` typos, by-value receivers/params of lock-bearing
-//     structs, and channel sends performed while a lock is held.
+//   - lockorder: the module-wide lock-acquisition graph (which mutex
+//     classes are acquired while which are held, propagated through the
+//     call graph; *Locked functions are analyzed under their receiver's
+//     lock) must stay acyclic, so the pipelined flush/compaction/commit
+//     paths cannot deadlock by construction.
 //   - lockscope: in internal/lsm and internal/raftlite, no heavy work while
 //     a mutex is held — merge loops, SSTable builds, sorts, fault-site
 //     consults (which may sleep an injected Delay), and clock sleeps must
 //     run outside the critical section so flushes, compactions, and commit
 //     rounds never stall concurrent readers. Functions named *Locked are
 //     analyzed as if a caller's lock were held.
+//   - locksafety: mutex hygiene — a Lock with no Unlock on any path,
+//     `defer mu.Lock()` typos, by-value receivers/params of lock-bearing
+//     structs, and channel sends performed while a lock is held.
+//   - maporder: iteration order of a map must not escape into observable
+//     behavior (slice append without a later sort, channel send, trace or
+//     metric or wire call, fault-site consult, formatted message); Go
+//     randomizes map order per run, so an escaped order breaks same-seed
+//     replay.
 //   - metricnames: metric registration uses literal `subsystem.name` names
 //     and never registers the same name twice.
 //   - spanfinish: every trace span started in a function (StartSpan,
@@ -31,7 +55,8 @@
 //	//lint:allow <check> <reason>
 //
 // A directive with an unknown check name or a missing reason is itself a
-// violation.
+// violation, and so is a directive that suppresses nothing — the escape-hatch
+// inventory cannot rot as checks tighten.
 package lint
 
 import (
@@ -39,6 +64,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -48,7 +74,14 @@ import (
 )
 
 // Checks is the set of known check names, in reporting order.
-var Checks = []string{"directtime", "globalrand", "lockscope", "locksafety", "metricnames", "spanfinish"}
+var Checks = []string{
+	"directtime", "faulterr", "globalrand", "lockorder", "lockscope",
+	"locksafety", "maporder", "metricnames", "spanfinish",
+}
+
+// typedChecks are the checks that need the type-checked loader and the
+// module call graph.
+var typedChecks = map[string]bool{"faulterr": true, "lockorder": true, "maporder": true}
 
 // Diagnostic is one reported violation.
 type Diagnostic struct {
@@ -60,6 +93,33 @@ type Diagnostic struct {
 // String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Checks restricts the run to the named checks; empty means all.
+	// Directive validation (malformed or unused //lint:allow) always runs,
+	// but an unused-allow finding is only reported when the check the
+	// directive names is enabled.
+	Checks []string
+}
+
+// enabledSet expands Options.Checks, validating the names.
+func (o Options) enabledSet() (map[string]bool, error) {
+	enabled := map[string]bool{}
+	if len(o.Checks) == 0 {
+		for _, c := range Checks {
+			enabled[c] = true
+		}
+		return enabled, nil
+	}
+	for _, c := range o.Checks {
+		if !knownCheck(c) {
+			return nil, fmt.Errorf("lint: unknown check %q (known: %s)", c, strings.Join(Checks, ", "))
+		}
+		enabled[c] = true
+	}
+	return enabled, nil
 }
 
 // file is one parsed source file plus the metadata the checks need.
@@ -84,6 +144,12 @@ type Tree struct {
 	root  string
 	fset  *token.FileSet
 	files []*file
+
+	// pkgs and info are populated lazily by typecheck() for the type-aware
+	// checks: the in-tree packages in dependency order and the shared
+	// type-checker output across all of them.
+	pkgs []*Package
+	info *types.Info
 }
 
 // Load parses every .go file under root, skipping testdata, vendor, and
@@ -171,56 +237,129 @@ func importNames(af *ast.File, importPath string) map[string]bool {
 // Run lints the tree under root with every check and returns the surviving
 // diagnostics sorted by position.
 func Run(root string) ([]Diagnostic, error) {
+	return RunOpts(root, Options{})
+}
+
+// RunOpts lints the tree under root with the configured checks.
+func RunOpts(root string, opts Options) ([]Diagnostic, error) {
 	tree, err := Load(root)
 	if err != nil {
 		return nil, err
 	}
-	return tree.Check(), nil
+	return tree.Check(opts)
 }
 
-// Check runs every check over the tree, applies //lint:allow directives, and
-// returns the surviving diagnostics sorted by position.
-func (t *Tree) Check() []Diagnostic {
+// Check runs the enabled checks over the tree, applies //lint:allow
+// directives, and returns the surviving diagnostics de-duplicated and sorted
+// by position.
+func (t *Tree) Check(opts Options) ([]Diagnostic, error) {
+	enabled, err := opts.enabledSet()
+	if err != nil {
+		return nil, err
+	}
+
 	var diags []Diagnostic
 	structIdx := buildStructIndex(t.files)
 	reg := newMetricNameIndex()
 	for _, f := range t.files {
-		diags = append(diags, checkDirectTime(f)...)
-		diags = append(diags, checkGlobalRand(f)...)
-		diags = append(diags, checkLockSafety(f, structIdx)...)
-		diags = append(diags, checkLockScope(f)...)
-		diags = append(diags, checkMetricNames(f, reg)...)
-		diags = append(diags, checkSpanFinish(f)...)
+		if enabled["directtime"] {
+			diags = append(diags, checkDirectTime(f)...)
+		}
+		if enabled["globalrand"] {
+			diags = append(diags, checkGlobalRand(f)...)
+		}
+		if enabled["locksafety"] {
+			diags = append(diags, checkLockSafety(f, structIdx)...)
+		}
+		if enabled["lockscope"] {
+			diags = append(diags, checkLockScope(f)...)
+		}
+		if enabled["metricnames"] {
+			diags = append(diags, checkMetricNames(f, reg)...)
+		}
+		if enabled["spanfinish"] {
+			diags = append(diags, checkSpanFinish(f)...)
+		}
 	}
-	diags = append(diags, reg.duplicates()...)
+	if enabled["metricnames"] {
+		diags = append(diags, reg.duplicates()...)
+	}
 
-	// Apply and validate //lint:allow directives.
+	if enabled["maporder"] || enabled["lockorder"] || enabled["faulterr"] {
+		if err := t.typecheck(); err != nil {
+			return nil, err
+		}
+		cg := buildCallGraph(t)
+		for _, fn := range cg.sortedFuncs() {
+			if enabled["maporder"] {
+				diags = append(diags, checkMapOrder(cg, fn)...)
+			}
+			if enabled["faulterr"] {
+				diags = append(diags, checkFaultErr(cg, fn)...)
+			}
+		}
+		if enabled["lockorder"] {
+			diags = append(diags, checkLockOrder(cg)...)
+		}
+	}
+
+	// De-duplicate: overlapping checks (or one check reached through two
+	// call paths) may produce byte-identical findings.
+	seen := map[Diagnostic]bool{}
+	deduped := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			deduped = append(deduped, d)
+		}
+	}
+	diags = deduped
+
+	// Apply and validate //lint:allow directives, tracking which ones
+	// actually suppress something.
 	var out []Diagnostic
-	allowed := map[allowKey]bool{}
+	allowed := map[allowKey]*allowDirective{}
+	var directives []*allowDirective
 	for _, f := range t.files {
-		ds, allows := parseAllows(f)
+		ds, dirs := parseAllows(f)
 		out = append(out, ds...)
-		for k := range allows {
-			allowed[k] = true
+		for _, dir := range dirs {
+			directives = append(directives, dir)
+			for _, k := range dir.keys() {
+				allowed[k] = dir
+			}
 		}
 	}
 	for _, d := range diags {
-		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Check}] {
+		if dir := allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Check}]; dir != nil {
+			dir.used = true
 			continue
 		}
 		out = append(out, d)
 	}
+	for _, dir := range directives {
+		if !dir.used && enabled[dir.check] {
+			out = append(out, Diagnostic{Pos: dir.pos, Check: "lintdirective",
+				Message: fmt.Sprintf("lint:allow %s suppresses no diagnostic; delete the stale directive", dir.check)})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Column < b.Column
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
+	return out, nil
 }
 
 type allowKey struct {
@@ -229,14 +368,29 @@ type allowKey struct {
 	check    string
 }
 
+// allowDirective is one well-formed //lint:allow, with its suppression
+// footprint (its own line and the next) and whether it ever fired.
+type allowDirective struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
+func (a *allowDirective) keys() []allowKey {
+	return []allowKey{
+		{a.pos.Filename, a.pos.Line, a.check},
+		{a.pos.Filename, a.pos.Line + 1, a.check},
+	}
+}
+
 var allowRE = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
 
 // parseAllows extracts //lint:allow directives from f. A directive suppresses
 // matching diagnostics on its own line and on the following line. Malformed
 // directives (unknown check, missing reason) are returned as diagnostics.
-func parseAllows(f *file) ([]Diagnostic, map[allowKey]bool) {
+func parseAllows(f *file) ([]Diagnostic, []*allowDirective) {
 	var diags []Diagnostic
-	allows := map[allowKey]bool{}
+	var dirs []*allowDirective
 	for _, cg := range f.ast.Comments {
 		for _, c := range cg.List {
 			m := allowRE.FindStringSubmatch(c.Text)
@@ -255,11 +409,10 @@ func parseAllows(f *file) ([]Diagnostic, map[allowKey]bool) {
 					Message: fmt.Sprintf("lint:allow %s needs a reason", check)})
 				continue
 			}
-			allows[allowKey{pos.Filename, pos.Line, check}] = true
-			allows[allowKey{pos.Filename, pos.Line + 1, check}] = true
+			dirs = append(dirs, &allowDirective{pos: pos, check: check})
 		}
 	}
-	return diags, allows
+	return diags, dirs
 }
 
 func knownCheck(name string) bool {

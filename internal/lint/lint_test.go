@@ -74,13 +74,19 @@ func f() {
 	//lint:allow globalrand
 }
 `)
-	diags, allows := parseAllows(f)
+	diags, dirs := parseAllows(f)
 	if len(diags) != 2 {
 		t.Fatalf("got %d directive diagnostics, want 2: %v", len(diags), diags)
 	}
 	for _, d := range diags {
 		if d.Check != "lintdirective" {
 			t.Errorf("diagnostic check = %q, want lintdirective", d.Check)
+		}
+	}
+	allows := map[allowKey]bool{}
+	for _, dir := range dirs {
+		for _, k := range dir.keys() {
+			allows[k] = true
 		}
 	}
 	// Same-line allow (line 6) and line-above allow (directive on 7 covers 8).

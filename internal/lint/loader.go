@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked in-tree package: the non-test files of one
+// directory under the lint root. Test files stay out of the type-check (an
+// external _test package cannot be checked together with its subject, and
+// the type-aware checks skip tests anyway); they remain visible to the
+// syntactic checks through Tree.files.
+type Package struct {
+	// Dir is the slash-separated directory relative to the lint root ("."
+	// for the root itself).
+	Dir string
+	// Path is the import path the package was type-checked under: the
+	// module path joined with Dir when the root carries a go.mod, Dir
+	// itself otherwise (the golden corpus imports its packages by
+	// root-relative path).
+	Path string
+	// Files are the package's non-test files in filename order.
+	Files []*file
+	// Types is the type-checked package object. It is non-nil even when
+	// TypeErrs is not empty (go/types recovers and keeps checking).
+	Types *types.Package
+	// TypeErrs collects the type errors go/types reported. crdb-lint does
+	// not re-report them — `go build` owns compile errors — but a package
+	// that failed to type-check is excluded from the type-aware checks.
+	TypeErrs []error
+}
+
+// typeOK reports whether the package type-checked cleanly enough for the
+// type-aware checks to trust its info.
+func (p *Package) typeOK() bool { return p.Types != nil && len(p.TypeErrs) == 0 }
+
+// typecheck groups the tree's non-test files into packages, orders them by
+// in-tree import dependencies, and type-checks each with go/types. Out-of-tree
+// imports (the stdlib) resolve through go/importer: compiled export data when
+// available, falling back to type-checking the dependency from source. All
+// positions land in the tree's shared FileSet. The resulting packages and a
+// shared types.Info are stored on the tree.
+func (t *Tree) typecheck() error {
+	if t.info != nil {
+		return nil
+	}
+	modPath := readModulePath(filepath.Join(t.root, "go.mod"))
+
+	byDir := map[string][]*file{}
+	for _, f := range t.files {
+		if f.isTest {
+			continue
+		}
+		byDir[f.pkgDir] = append(byDir[f.pkgDir], f)
+	}
+	var pkgs []*Package
+	byPath := map[string]*Package{}
+	for dir, files := range byDir {
+		sort.Slice(files, func(i, j int) bool { return files[i].relPath < files[j].relPath })
+		path := dir
+		if modPath != "" {
+			path = modPath
+			if dir != "." {
+				path = modPath + "/" + dir
+			}
+		}
+		p := &Package{Dir: dir, Path: path, Files: files}
+		pkgs = append(pkgs, p)
+		byPath[p.Path] = p
+		if modPath != "" {
+			// The corpus convention (import by root-relative dir) stays
+			// available inside a module too; it costs nothing.
+			byPath[dir] = p
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+
+	ordered, err := topoOrder(pkgs, byPath)
+	if err != nil {
+		return err
+	}
+
+	t.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	imp := &treeImporter{
+		inTree: map[string]*types.Package{},
+		gc:     importer.ForCompiler(t.fset, "gc", nil),
+		source: importer.ForCompiler(t.fset, "source", nil),
+	}
+	for _, p := range ordered {
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+		}
+		files := make([]*ast.File, len(p.Files))
+		for i, f := range p.Files {
+			files[i] = f.ast
+		}
+		// Check returns a usable (if partial) package even on error; the
+		// per-package TypeErrs gate decides whether checks may rely on it.
+		tpkg, _ := conf.Check(p.Path, t.fset, files, t.info)
+		p.Types = tpkg
+		imp.inTree[p.Path] = tpkg
+		if p.Path != p.Dir {
+			imp.inTree[p.Dir] = tpkg
+		}
+	}
+	t.pkgs = ordered
+	return nil
+}
+
+// readModulePath extracts the module path from a go.mod file, or "" when the
+// file does not exist or has no module directive.
+func readModulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if rest != "" {
+				return strings.Trim(rest, `"`)
+			}
+		}
+	}
+	return ""
+}
+
+// topoOrder sorts packages so every in-tree import precedes its importer.
+// An import cycle is an error (go build rejects it too, but the loader must
+// not hang or type-check against a missing dependency).
+func topoOrder(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	deps := map[*Package][]*Package{}
+	for _, p := range pkgs {
+		seen := map[*Package]bool{}
+		for _, f := range p.Files {
+			for _, spec := range f.ast.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if dep, ok := byPath[path]; ok && dep != p && !seen[dep] {
+					seen[dep] = true
+					deps[p] = append(deps[p], dep)
+				}
+			}
+		}
+		sort.Slice(deps[p], func(i, j int) bool { return deps[p][i].Dir < deps[p][j].Dir })
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Package]int{}
+	var ordered []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch color[p] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", p.Dir)
+		}
+		color[p] = gray
+		for _, dep := range deps[p] {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		color[p] = black
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// treeImporter resolves in-tree import paths to the packages the loader has
+// already type-checked (dependency order guarantees they exist by the time
+// an importer needs them) and delegates everything else to the stdlib
+// importers: compiled export data first, source as the fallback, so the
+// linter works both with and without a populated build cache.
+type treeImporter struct {
+	inTree map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+	failed map[string]error
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti.inTree[path]; ok {
+		return p, nil
+	}
+	if err, ok := ti.failed[path]; ok {
+		return nil, err
+	}
+	p, err := ti.gc.Import(path)
+	if err != nil {
+		p, err = ti.source.Import(path)
+	}
+	if err != nil {
+		if ti.failed == nil {
+			ti.failed = map[string]error{}
+		}
+		ti.failed[path] = err
+		return nil, err
+	}
+	return p, nil
+}

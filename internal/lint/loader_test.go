@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a synthetic source tree under t.TempDir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadAndCheck(t *testing.T, root string) *Tree {
+	t.Helper()
+	tr, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := tr.typecheck(); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return tr
+}
+
+func TestLoaderModuleTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"example.com/mod/b\"\n\nfunc Sum() int { return b.One() + b.One() }\n",
+		"b/b.go": "package b\n\nfunc One() int { return 1 }\n",
+	})
+	tr := loadAndCheck(t, root)
+	if len(tr.pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(tr.pkgs))
+	}
+	// Dependency order: b must be type-checked before its importer a.
+	if tr.pkgs[0].Dir != "b" || tr.pkgs[1].Dir != "a" {
+		t.Errorf("package order = [%s %s], want [b a]", tr.pkgs[0].Dir, tr.pkgs[1].Dir)
+	}
+	for _, p := range tr.pkgs {
+		if !p.typeOK() {
+			t.Errorf("package %s failed to type-check: %v", p.Dir, p.TypeErrs)
+		}
+		if want := "example.com/mod/" + p.Dir; p.Path != want {
+			t.Errorf("package %s path = %q, want %q", p.Dir, p.Path, want)
+		}
+	}
+}
+
+func TestLoaderCorpusTree(t *testing.T) {
+	// Without a go.mod, packages import each other by root-relative dir —
+	// the golden-corpus convention.
+	root := writeTree(t, map[string]string{
+		"lib/lib.go": "package lib\n\nfunc Two() int { return 2 }\n",
+		"app/app.go": "package app\n\nimport \"lib\"\n\nfunc Four() int { return lib.Two() * 2 }\n",
+	})
+	tr := loadAndCheck(t, root)
+	byDir := map[string]*Package{}
+	for _, p := range tr.pkgs {
+		byDir[p.Dir] = p
+	}
+	for dir, p := range byDir {
+		if !p.typeOK() {
+			t.Errorf("package %s failed to type-check: %v", dir, p.TypeErrs)
+		}
+		if p.Path != dir {
+			t.Errorf("package %s path = %q, want the bare dir", dir, p.Path)
+		}
+	}
+}
+
+func TestLoaderTestFilesExcluded(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":      "module example.com/mod\n\ngo 1.22\n",
+		"a/a.go":      "package a\n\nfunc One() int { return 1 }\n",
+		"a/a_test.go": "package a\n\nimport \"testing\"\n\nfunc TestOne(t *testing.T) { if One() != 1 { t.Fail() } }\n",
+	})
+	tr := loadAndCheck(t, root)
+	if len(tr.pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(tr.pkgs))
+	}
+	p := tr.pkgs[0]
+	if len(p.Files) != 1 || !strings.HasSuffix(p.Files[0].relPath, "a/a.go") {
+		t.Errorf("package a files = %v, want only a/a.go", len(p.Files))
+	}
+	if !p.typeOK() {
+		t.Errorf("package a failed to type-check: %v", p.TypeErrs)
+	}
+}
+
+func TestLoaderImportCycle(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/mod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"example.com/mod/b\"\n\nvar _ = b.B\n",
+		"b/b.go": "package b\n\nimport \"example.com/mod/a\"\n\nvar B = 1\n\nvar _ = a.A\n",
+	})
+	tr, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	err = tr.typecheck()
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("typecheck err = %v, want an import-cycle error", err)
+	}
+}
+
+func TestLoaderTypeErrorGatesPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":     "module example.com/mod\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc Broken() int { return \"not an int\" }\n",
+		"ok/ok.go":   "package ok\n\nfunc Fine() int { return 1 }\n",
+	})
+	// A type error in one package must not fail the load; it only excludes
+	// that package from the type-aware checks.
+	tr := loadAndCheck(t, root)
+	byDir := map[string]*Package{}
+	for _, p := range tr.pkgs {
+		byDir[p.Dir] = p
+	}
+	if byDir["bad"].typeOK() {
+		t.Error("package bad reported typeOK despite a type error")
+	}
+	if !byDir["ok"].typeOK() {
+		t.Errorf("package ok failed to type-check: %v", byDir["ok"].TypeErrs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -297,7 +298,13 @@ func (la *lockAnalyzer) checkMissingUnlock(fd *ast.FuncDecl) []Diagnostic {
 		return true
 	})
 	var diags []Diagnostic
-	for key, t := range tallies {
+	keys := make([]string, 0, len(tallies))
+	for key := range tallies {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		t := tallies[key]
 		if t.locks > 0 && t.unlocks == 0 {
 			recv := strings.TrimSuffix(key, "|R")
 			verb := "Lock"
@@ -460,6 +467,7 @@ func (la *lockAnalyzer) checkSend(send *ast.SendStmt, held, chans map[string]boo
 	for k := range held {
 		keys = append(keys, strings.TrimSuffix(k, "|R"))
 	}
+	sort.Strings(keys)
 	*diags = append(*diags, Diagnostic{
 		Pos:     la.f.fset.Position(send.Pos()),
 		Check:   "locksafety",

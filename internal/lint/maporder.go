@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkMapOrder flags `range` statements over map values whose iteration
+// order escapes into observable behavior. Go randomizes map iteration per
+// run, so any order-dependent effect inside the loop breaks the
+// reproduction's same-seed determinism (the PR-5 chaos-replay bug: intent
+// resolution in map order made the fault-consult schedule differ between
+// identically-seeded runs). The observable sinks are:
+//
+//   - appending a loop-derived value to a slice that is not deterministically
+//     sorted later in the same function (the collect-then-sort idiom is the
+//     sanctioned fix and is recognized);
+//   - a channel send inside the loop body;
+//   - passing a loop variable to a function that (transitively, through the
+//     module call graph) performs an order-observable effect — a trace or
+//     metric event, a wire frame, a channel send, or a fault-site consult;
+//   - formatting a loop variable into a string or error (fmt/errors calls),
+//     which bakes the order into a value something will eventually compare
+//     or print.
+//
+// Loops whose body never leaks a loop variable (aggregations, copies into
+// other maps, deletes) are inherently order-insensitive and pass.
+func checkMapOrder(cg *callGraph, fn *funcNode) []Diagnostic {
+	var diags []Diagnostic
+	info := cg.info
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := typeOf(info, rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		loopVars := rangeLoopVars(info, rs)
+		if len(loopVars) == 0 {
+			return true // `for range m` observes only the count
+		}
+		diags = append(diags, (&mapOrderScan{cg: cg, fn: fn, rs: rs, vars: loopVars}).scan()...)
+		return true
+	})
+	return diags
+}
+
+// rangeLoopVars resolves the key/value loop variables to their objects.
+func rangeLoopVars(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.ObjectOf(id); obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+type mapOrderScan struct {
+	cg   *callGraph
+	fn   *funcNode
+	rs   *ast.RangeStmt
+	vars map[types.Object]bool
+}
+
+// scan walks the loop body (nested function literals included — the loop
+// variables are captured there too) collecting order-observable sinks.
+func (m *mapOrderScan) scan() []Diagnostic {
+	var diags []Diagnostic
+	seenLine := map[int]bool{}
+	flag := func(n ast.Node, format string, args ...any) {
+		pos := m.cg.tree.fset.Position(n.Pos())
+		if seenLine[pos.Line] {
+			return // one finding per line; overlapping sinks restate the same fix
+		}
+		seenLine[pos.Line] = true
+		diags = append(diags, Diagnostic{Pos: pos, Check: "maporder",
+			Message: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(m.rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			flag(n, "channel send inside range over map: receive order depends on map iteration order; iterate sorted keys")
+		case *ast.CallExpr:
+			m.scanCall(n, flag)
+		}
+		return true
+	})
+	return diags
+}
+
+func (m *mapOrderScan) scanCall(call *ast.CallExpr, flag func(ast.Node, string, ...any)) {
+	info := m.cg.info
+
+	// append(dst, ...loop-derived...): flagged unless dst is sorted later in
+	// the enclosing function.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+			if len(call.Args) >= 2 && m.usesLoopVar(call.Args[1:]) {
+				if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if obj := info.ObjectOf(dst); obj != nil && m.sortedAfterLoop(obj) {
+						return
+					}
+					flag(call, "append in map order: %s's element order depends on map iteration order; sort it afterwards or iterate sorted keys", dst.Name)
+					return
+				}
+				flag(call, "append in map order: the element order depends on map iteration order; sort afterwards or iterate sorted keys")
+			}
+			return
+		}
+	}
+
+	obj := calleeObj(info, call)
+	if obj == nil || !m.callMentionsLoopVar(call) {
+		return
+	}
+	pkg := obj.Pkg()
+	if pkg != nil && (pkg.Path() == "fmt" || pkg.Path() == "errors") {
+		flag(call, "%s.%s formats a map-ordered value: the message depends on map iteration order; iterate sorted keys", pkg.Name(), obj.Name())
+		return
+	}
+	if isOrderedPkg(pkg) {
+		flag(call, "%s.%s inside range over map emits events in map iteration order; iterate sorted keys", pkg.Name(), obj.Name())
+		return
+	}
+	if fn := m.cg.funcs[obj]; fn != nil && fn.ordered {
+		flag(call, "%s is order-observable (it transitively sends, traces, or consults a fault site); calling it per map iteration leaks map order — iterate sorted keys", obj.Name())
+	}
+}
+
+// usesLoopVar reports whether any expression references a loop variable.
+func (m *mapOrderScan) usesLoopVar(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if m.vars[m.cg.info.ObjectOf(id)] {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// callMentionsLoopVar reports whether a loop variable flows into the call's
+// arguments or receiver chain.
+func (m *mapOrderScan) callMentionsLoopVar(call *ast.CallExpr) bool {
+	if m.usesLoopVar(call.Args) {
+		return true
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return m.usesLoopVar([]ast.Expr{sel.X})
+	}
+	return false
+}
+
+// sortedAfterLoop reports whether obj (a slice collected inside the loop) is
+// passed to a recognized deterministic sort after the range statement in the
+// enclosing function: sort.Strings/Ints/Float64s/Slice/SliceStable/
+// Sort/Stable or slices.Sort/SortFunc/SortStableFunc.
+func (m *mapOrderScan) sortedAfterLoop(obj types.Object) bool {
+	found := false
+	ast.Inspect(m.fn.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < m.rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		callee := calleeObj(m.cg.info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && m.cg.info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

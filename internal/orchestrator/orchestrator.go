@@ -309,6 +309,7 @@ func (o *Orchestrator) AssignPod(ctx context.Context, t *core.Tenant) (*Pod, err
 	o.mu.byTenant[t.Name] = append(o.mu.byTenant[t.Name], pod)
 	o.mu.Unlock()
 	// Backfill the warm pool.
+	//lint:allow faulterr warm-pool backfill is asynchronous best-effort; a failure surfaces as a slower next cold start, not a lost request
 	go o.EnsureWarm(o.cfg.WarmPoolSize)
 	return pod, nil
 }

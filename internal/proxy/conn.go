@@ -17,7 +17,11 @@ import (
 // windows in which a session may migrate (§4.2.4: migration happens when the
 // client session is idle).
 type proxiedConn struct {
-	proxy      *Proxy
+	proxy *Proxy
+	// id is the proxy-assigned accept sequence number; iteration over the
+	// connection set sorts by it so migration and shutdown visit
+	// connections in a deterministic order.
+	id         uint64
 	client     net.Conn
 	tenantName string
 	origin     string

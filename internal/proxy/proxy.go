@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,8 @@ type Proxy struct {
 		connsPerBackend map[string]int
 		conns           map[*proxiedConn]struct{}
 		throttle        map[string]*throttleState
+		// nextConnID seeds proxiedConn.id in accept order.
+		nextConnID uint64
 	}
 	wg sync.WaitGroup
 
@@ -129,10 +132,7 @@ func (p *Proxy) Close() {
 		return
 	}
 	p.mu.closed = true
-	conns := make([]*proxiedConn, 0, len(p.mu.conns))
-	for c := range p.mu.conns {
-		conns = append(conns, c)
-	}
+	conns := sortedConns(p.mu.conns)
 	p.mu.Unlock()
 	p.ln.Close()
 	for _, c := range conns {
@@ -355,6 +355,8 @@ func (p *Proxy) handleConn(client net.Conn) {
 	}
 
 	p.mu.Lock()
+	p.mu.nextConnID++
+	pc.id = p.mu.nextConnID
 	p.mu.conns[pc] = struct{}{}
 	p.mu.Unlock()
 	defer func() {
@@ -372,13 +374,14 @@ func (p *Proxy) handleConn(client net.Conn) {
 // post-scale-up smoothing, §4.2.2).
 func (p *Proxy) RequestMigrations(fromAddr, toAddr string) int {
 	p.mu.Lock()
+	all := sortedConns(p.mu.conns)
+	p.mu.Unlock()
 	conns := make([]*proxiedConn, 0)
-	for pc := range p.mu.conns {
+	for _, pc := range all {
 		if pc.backendAddr() == fromAddr {
 			conns = append(conns, pc)
 		}
 	}
-	p.mu.Unlock()
 	n := 0
 	for _, pc := range conns {
 		select {
@@ -395,13 +398,14 @@ func (p *Proxy) RequestMigrations(fromAddr, toAddr string) int {
 // the request.
 func (p *Proxy) RequestMigration(fromAddr, toAddr string) bool {
 	p.mu.Lock()
+	all := sortedConns(p.mu.conns)
+	p.mu.Unlock()
 	conns := make([]*proxiedConn, 0)
-	for pc := range p.mu.conns {
+	for _, pc := range all {
 		if pc.backendAddr() == fromAddr {
 			conns = append(conns, pc)
 		}
 	}
-	p.mu.Unlock()
 	for _, pc := range conns {
 		select {
 		case pc.migrateCh <- toAddr:
@@ -423,16 +427,24 @@ func (p *Proxy) noteBackendReconnect() { p.backendReconnects.Inc(1) }
 // one migration per overloaded backend per tick, and returns the number of
 // migrations requested.
 func (p *Proxy) RebalanceTick(ctx context.Context) int {
-	// Group connections by tenant.
+	// Group connections by tenant, visiting tenants in name order so each
+	// tick requests the same migrations given the same connection set.
 	p.mu.Lock()
+	all := sortedConns(p.mu.conns)
+	p.mu.Unlock()
 	byTenant := make(map[string][]*proxiedConn)
-	for pc := range p.mu.conns {
+	tenants := make([]string, 0)
+	for _, pc := range all {
+		if _, ok := byTenant[pc.tenantName]; !ok {
+			tenants = append(tenants, pc.tenantName)
+		}
 		byTenant[pc.tenantName] = append(byTenant[pc.tenantName], pc)
 	}
-	p.mu.Unlock()
+	sort.Strings(tenants)
 
 	requested := 0
-	for tenant, conns := range byTenant {
+	for _, tenant := range tenants {
+		conns := byTenant[tenant]
 		backends, err := p.cfg.Directory.Lookup(ctx, tenant)
 		if err != nil {
 			continue
@@ -461,10 +473,12 @@ func (p *Proxy) RebalanceTick(ctx context.Context) int {
 			var maxA, minA string
 			maxC, minC := -1, 1<<30
 			for addr, c := range counts {
-				if c > maxC {
+				// Ties break toward the lexically smaller address so the
+				// chosen pair does not depend on map iteration order.
+				if c > maxC || (c == maxC && addr < maxA) {
 					maxC, maxA = c, addr
 				}
-				if c < minC {
+				if c < minC || (c == minC && addr < minA) {
 					minC, minA = c, addr
 				}
 			}
@@ -480,4 +494,15 @@ func (p *Proxy) RebalanceTick(ctx context.Context) int {
 		}
 	}
 	return requested
+}
+
+// sortedConns snapshots a connection set in accept-id order. Callers hold
+// p.mu; the returned slice is safe to use after release.
+func sortedConns(set map[*proxiedConn]struct{}) []*proxiedConn {
+	conns := make([]*proxiedConn, 0, len(set))
+	for pc := range set {
+		conns = append(conns, pc)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+	return conns
 }

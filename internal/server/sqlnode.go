@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -231,6 +232,9 @@ func (n *SQLNode) Close() {
 	for c := range n.mu.conns {
 		conns = append(conns, c)
 	}
+	sort.Slice(conns, func(i, j int) bool {
+		return conns[i].RemoteAddr().String() < conns[j].RemoteAddr().String()
+	})
 	tenant := n.mu.tenant
 	n.mu.Unlock()
 	if n.ln != nil {
@@ -246,6 +250,7 @@ func (n *SQLNode) Close() {
 		coord := txn.NewCoordinator(ds, n.cfg.Cluster.Clock(), tenant.ID)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		//lint:allow faulterr best-effort deregistration during shutdown; the node is gone either way and the orchestrator prunes stale rows
 		_ = sql.UnregisterInstance(ctx, coord, tenant.ID, n.cfg.Region, n.cfg.InstanceID)
 	}
 }

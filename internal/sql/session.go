@@ -122,6 +122,7 @@ func (s *Session) Execute(ctx context.Context, sqlText string, args ...Datum) (*
 		res, err := s.exec.ExecuteStmt(ctx, stmt, args, t)
 		if err != nil && t != nil {
 			// A failed statement poisons the explicit transaction.
+			//lint:allow faulterr the statement error is what the client sees; a failed abort only leaves intents for the next reader to resolve
 			_ = t.Abort(ctx)
 			s.mu.Lock()
 			s.mu.txn = nil

@@ -292,7 +292,11 @@ func (c *Coordinator) RunTxn(ctx context.Context, fn func(context.Context, *Txn)
 			sp.SetAttr("txn.attempts", attempt+1)
 			return nil
 		}
-		_ = t.Abort(ctx)
+		if aerr := t.Abort(ctx); aerr != nil {
+			// The retry loop's own error wins, but an abort failure is worth a
+			// trace event: it means intents may linger for lazy resolution.
+			sp.Eventf("abort failed txn=%d: %v", t.meta.ID, aerr)
+		}
 		if !kvpb.IsRetriable(err) {
 			sp.Eventf("abort txn=%d: %v", t.meta.ID, err)
 			sp.SetAttr("txn.attempts", attempt+1)

@@ -113,6 +113,7 @@ func (w *TPCC) NewOrder(ctx context.Context, db DB) error {
 		return err
 	}
 	abort := func(err error) error {
+		//lint:allow faulterr ROLLBACK is best-effort on the abort path; the statement's own error is returned to the caller
 		_, _ = db.Execute(ctx, "ROLLBACK")
 		return err
 	}
@@ -168,6 +169,7 @@ func (w *TPCC) Payment(ctx context.Context, db DB) error {
 		return err
 	}
 	abort := func(err error) error {
+		//lint:allow faulterr ROLLBACK is best-effort on the abort path; the statement's own error is returned to the caller
 		_, _ = db.Execute(ctx, "ROLLBACK")
 		return err
 	}

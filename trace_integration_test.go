@@ -42,17 +42,17 @@ func runTracedWorkload(t *testing.T, seed int64) *trace.Span {
 	}
 	conn.Close()
 
-	deadline := time.Now().Add(5 * time.Second) //lint:allow directtime test polls wall clock for the proxy's async teardown
+	deadline := time.Now().Add(5 * time.Second)
 	for {
 		for _, root := range s.Tracer().Recorder().RecentRoots() {
 			if root.Op() == "proxy.conn" {
 				return root
 			}
 		}
-		if time.Now().After(deadline) { //lint:allow directtime test polls wall clock for the proxy's async teardown
+		if time.Now().After(deadline) {
 			t.Fatal("no proxy.conn root trace recorded")
 		}
-		time.Sleep(time.Millisecond) //lint:allow directtime test polls wall clock for the proxy's async teardown
+		time.Sleep(time.Millisecond)
 	}
 }
 
