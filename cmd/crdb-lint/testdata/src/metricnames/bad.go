@@ -7,6 +7,10 @@ type registry struct{}
 func (r *registry) MustRegister(name string, m any) {}
 func (r *registry) NewCounter(name string) int      { return 0 }
 
+func (r *registry) NewCounterVec(name string, keys ...string) int   { return 0 }
+func (r *registry) NewGaugeVec(name string, keys ...string) int     { return 0 }
+func (r *registry) NewHistogramVec(name string, keys ...string) int { return 0 }
+
 var dynamicName = "proxy.dynamic"
 
 func register(r *registry) {
@@ -17,4 +21,14 @@ func register(r *registry) {
 	_ = r.NewCounter("Proxy.Requests")      // want metricnames
 	r.MustRegister("proxy.dup_name", nil)
 	r.MustRegister("proxy.dup_name", nil) // want metricnames
+}
+
+var dynamicKey = "tenant"
+
+func registerVecs(r *registry) {
+	_ = r.NewCounterVec("proxy.unlabeled_conns")                    // want metricnames
+	_ = r.NewGaugeVec("sql.tenant_mem", "Tenant")                   // want metricnames
+	_ = r.NewHistogramVec("sql.tenant_lat", "tenant", "datacenter") // want metricnames
+	_ = r.NewCounterVec("dist.tenant_ops", dynamicKey)              // want metricnames
+	_ = r.NewCounterVec(dynamicName, "tenant")                      // want metricnames
 }

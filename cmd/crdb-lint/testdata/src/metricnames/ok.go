@@ -13,3 +13,9 @@ func registerOK(r *registry) {
 }
 
 func newHistogram(buckets int) int { return buckets }
+
+func registerVecsOK(r *registry) {
+	_ = r.NewCounterVec("proxy.tenant_conns", "tenant")
+	_ = r.NewGaugeVec("tenantcost.tenant_ru", "tenant", "region")
+	_ = r.NewHistogramVec("kv.node_batch_latency", "node", "result")
+}

@@ -7,8 +7,9 @@
 //	crdb-sim                      # shell on tenant "demo"
 //	crdb-sim -tenant acme         # shell on a different tenant
 //	crdb-sim -exec "SHOW TABLES"  # one-shot statements (';'-separated)
-//	crdb-sim -debug-addr :8081    # serve /debug/tracez and /debug/metrics
-//	crdb-sim -exec "..." -debug-dump   # dump both surfaces before exiting
+//	crdb-sim -debug-addr :8081    # serve /debug/tracez, /debug/metrics,
+//	                              # /debug/tenantz, and /debug/slo
+//	crdb-sim -exec "..." -debug-dump   # dump the debug surfaces before exiting
 //
 // Shell meta-commands:
 //
@@ -17,6 +18,8 @@
 //	\pods           show SQL pods per tenant
 //	\tracez         dump request traces (per-op percentiles + recent trees)
 //	\metrics        dump the metric registries in exposition format
+//	\tenantz [T]    per-tenant top-k tables, or one tenant's drill-down
+//	\slo            per-tenant SLO objectives and burn rates
 //	\q              quit
 package main
 
@@ -39,8 +42,8 @@ func main() {
 		tenant    = flag.String("tenant", "demo", "tenant (virtual cluster) to connect to")
 		exec      = flag.String("exec", "", "run ';'-separated statements and exit")
 		traceSeed = flag.Int64("trace-seed", 1, "seed for trace/span IDs (same seed + same workload => identical traces)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/tracez and /debug/metrics on this address")
-		debugDump = flag.Bool("debug-dump", false, "print /debug/tracez and /debug/metrics before exiting")
+		debugAddr = flag.String("debug-addr", "", "serve the /debug surfaces on this address")
+		debugDump = flag.Bool("debug-dump", false, "print the /debug surfaces before exiting")
 	)
 	flag.Parse()
 
@@ -56,7 +59,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "crdb-sim: debug server:", err)
 			}
 		}()
-		fmt.Printf("crdb-sim: debug surfaces at http://%s/debug/tracez and /debug/metrics\n", *debugAddr)
+		fmt.Printf("crdb-sim: debug surfaces at http://%s/debug/{tracez,metrics,tenantz,slo}\n", *debugAddr)
 	}
 	ctx := context.Background()
 	if _, err := srv.CreateTenant(ctx, *tenant, crdbserverless.TenantOptions{}); err != nil {
@@ -94,6 +97,14 @@ func main() {
 			if err := debug.WriteMetrics(os.Stdout); err != nil {
 				fatal(err)
 			}
+			fmt.Println()
+			if err := debug.WriteTenantz(os.Stdout, "", 0); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			if err := debug.WriteSLO(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
@@ -122,6 +133,15 @@ func main() {
 			}
 		case line == `\metrics`:
 			if err := debug.WriteMetrics(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+		case line == `\tenantz` || strings.HasPrefix(line, `\tenantz `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\tenantz`))
+			if err := debug.WriteTenantz(os.Stdout, name, 0); err != nil {
+				fmt.Println("error:", err)
+			}
+		case line == `\slo`:
+			if err := debug.WriteSLO(os.Stdout); err != nil {
 				fmt.Println("error:", err)
 			}
 		case strings.HasPrefix(line, `\suspend `):

@@ -9,9 +9,10 @@
 //	repro -list
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, table1 (also
-// emits fig12+fig13), kvbench (also writes BENCH_kv.json), tracez, fig11,
-// pushdown, kvscaling, chaos (seeded fault storm; -chaos-seed reproduces a
-// run), ablations.
+// emits fig12+fig13), kvbench (also writes BENCH_kv.json), tracez, fleetobs
+// (per-tenant observability under a noisy-neighbor storm), fig11, pushdown,
+// kvscaling, chaos (seeded fault storm; -chaos-seed reproduces a run),
+// ablations.
 package main
 
 import (
@@ -192,6 +193,27 @@ func buildExperiments(quick bool, chaosSeed int64, kvMinSpeedup float64) []exper
 			fmt.Print(res.Tracez)
 			fmt.Println()
 			fmt.Print(res.Metrics)
+			return nil
+		}},
+		{"fleetobs", "per-tenant observability plane under a 1k-tenant noisy-neighbor storm", func() error {
+			res, table, err := experiments.FleetObs(experiments.FleetObsOptions{
+				Tenants:    scale(1000, 120),
+				CalmTicks:  scale(20, 12),
+				StormTicks: scale(8, 6),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(table)
+			fmt.Println()
+			fmt.Print(res.Tenantz)
+			fmt.Println()
+			fmt.Print(res.VictimPage)
+			fmt.Println()
+			fmt.Print(res.AggressorPage)
+			if !res.DeterminismOK {
+				return fmt.Errorf("fleetobs: same-seed runs rendered different debug pages")
+			}
 			return nil
 		}},
 		{"fig11", "estimated CPU model accuracy on 23 held-out workloads (§6.7)", func() error {

@@ -36,6 +36,7 @@ import (
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/sql"
 	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
 	"crdbserverless/internal/txn"
@@ -117,6 +118,11 @@ type Serverless struct {
 	metrics       *metric.Registry
 	regionMetrics map[Region]*metric.Registry
 
+	// obs is the tenant observability plane: per-tenant labeled metrics on
+	// the deployment registry, windowed time series, and SLO burn rates,
+	// surfaced at /debug/tenantz and /debug/slo.
+	obs *tenantobs.Plane
+
 	orchestrators map[Region]*orchestrator.Orchestrator
 	autoscalers   map[Region]*autoscaler.Autoscaler
 	proxies       map[Region]*proxy.Proxy
@@ -164,6 +170,7 @@ func New(opts Options) (*Serverless, error) {
 		Metrics:       s.metrics,
 		SlowThreshold: opts.SlowSpanThreshold,
 	})
+	s.obs = tenantobs.New(tenantobs.Config{Registry: s.metrics, Clock: opts.Clock})
 
 	// The shared KV cluster spans all regions. Every node's engine shares
 	// one set of read-path counters on the deployment registry: the
@@ -184,6 +191,7 @@ func New(opts Options) (*Serverless, error) {
 				Cost:             cost,
 				LSM:              lsm.Options{Tracer: s.tracer, ReadMetrics: lsmReadMetrics, WriteMetrics: lsmWriteMetrics},
 				AdmissionEnabled: opts.AdmissionControl,
+				Obs:              s.obs,
 			}))
 			id++
 		}
@@ -195,6 +203,7 @@ func New(opts Options) (*Serverless, error) {
 	s.cluster = cluster
 	cluster.SetRowDecoder(sql.KVRowDecoder())
 	s.buckets = tenantcost.NewBucketServer(opts.Clock)
+	s.buckets.SetConsumptionObserver(s.obs.AddRU)
 	s.registry, err = core.NewRegistry(cluster, s.buckets)
 	if err != nil {
 		cluster.Close()
@@ -219,6 +228,7 @@ func New(opts Options) (*Serverless, error) {
 			NodeVCPUs:       4,
 			Metrics:         regMetrics,
 			Tracer:          s.tracer,
+			Obs:             s.obs,
 		})
 		if err != nil {
 			s.Close()
@@ -229,8 +239,9 @@ func New(opts Options) (*Serverless, error) {
 			Orchestrator: orch,
 			Registry:     s.registry,
 			Clock:        opts.Clock,
+			Obs:          s.obs,
 		})
-		p := proxy.New(proxy.Config{Directory: orch, Clock: opts.Clock, Metrics: regMetrics, Tracer: s.tracer})
+		p := proxy.New(proxy.Config{Directory: orch, Clock: opts.Clock, Metrics: regMetrics, Tracer: s.tracer, Obs: s.obs})
 		if err := p.Start("127.0.0.1:0"); err != nil {
 			s.Close()
 			return nil, err
@@ -250,7 +261,12 @@ func (s *Serverless) CreateTenant(ctx context.Context, name string, opts TenantO
 			return nil, fmt.Errorf("crdbserverless: region %s is not deployed", r)
 		}
 	}
-	return s.registry.CreateTenant(ctx, name, opts)
+	t, err := s.registry.CreateTenant(ctx, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.obs.RegisterTenant(t.ID, name)
+	return t, nil
 }
 
 // Connect opens a SQL connection to a tenant through the nearest region's
@@ -289,10 +305,11 @@ func (s *Serverless) SQLSession(tenantName string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := kvserver.NewDistSender(s.cluster, kvserver.Identity{Tenant: t.ID})
+	ds := kvserver.NewDistSender(s.cluster, kvserver.Identity{Tenant: t.ID}, kvserver.Config{Obs: s.obs})
 	coord := txn.NewCoordinator(ds, s.cluster.Clock(), t.ID)
+	coord.SetObs(s.obs)
 	catalog := sql.NewCatalog(coord, t.ID)
-	exec := sql.NewExecutor(catalog, coord, sql.ExecutorConfig{})
+	exec := sql.NewExecutor(catalog, coord, sql.ExecutorConfig{Obs: s.obs})
 	return sql.NewSession(exec, "app"), nil
 }
 
@@ -355,6 +372,9 @@ func (s *Serverless) Buckets() *tenantcost.BucketServer { return s.buckets }
 // Tracer returns the deployment-wide request tracer.
 func (s *Serverless) Tracer() *trace.Tracer { return s.tracer }
 
+// Obs returns the tenant observability plane.
+func (s *Serverless) Obs() *tenantobs.Plane { return s.obs }
+
 // Metrics returns the deployment-level metric registry (trace.* counters).
 // Per-region orchestrator/proxy metrics live in RegionMetrics.
 func (s *Serverless) Metrics() *metric.Registry { return s.metrics }
@@ -368,7 +388,7 @@ func (s *Serverless) RegionMetrics(r Region) *metric.Registry { return s.regionM
 // deployment-first, then regions in deployment order, so the exposition is
 // deterministic.
 func (s *Serverless) DebugHandler() *debug.Handler {
-	h := &debug.Handler{Tracer: s.tracer}
+	h := &debug.Handler{Tracer: s.tracer, Tenantz: s.obs}
 	h.Sections = append(h.Sections, debug.Section{Registry: s.metrics})
 	for _, r := range s.opts.Regions {
 		h.Sections = append(h.Sections, debug.Section{

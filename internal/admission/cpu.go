@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crdbserverless/internal/keys"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
 )
@@ -17,6 +18,7 @@ import (
 // runnable-queue sampling.
 type CPUQueue struct {
 	clock timeutil.Clock
+	obs   *tenantobs.Plane
 
 	mu struct {
 		sync.Mutex
@@ -42,6 +44,9 @@ type CPUQueueOptions struct {
 	UsageHalfLife time.Duration
 	// Clock defaults to the real clock.
 	Clock timeutil.Clock
+	// Obs, when non-nil, records each request's admission wait against its
+	// tenant (admission.tenant_wait).
+	Obs *tenantobs.Plane
 }
 
 // NewCPUQueue returns a CPUQueue.
@@ -58,7 +63,7 @@ func NewCPUQueue(opts CPUQueueOptions) *CPUQueue {
 	if opts.Clock == nil {
 		opts.Clock = timeutil.NewRealClock()
 	}
-	q := &CPUQueue{clock: opts.Clock, minSlots: opts.MinSlots, maxSlots: opts.MaxSlots}
+	q := &CPUQueue{clock: opts.Clock, obs: opts.Obs, minSlots: opts.MinSlots, maxSlots: opts.MaxSlots}
 	q.mu.fq = newFairQueue(opts.UsageHalfLife, opts.Clock.Now())
 	q.mu.slots = opts.InitialSlots
 	return q
@@ -74,6 +79,7 @@ func (q *CPUQueue) Admit(ctx context.Context, info WorkInfo) (release func(cpu t
 		q.mu.used++
 		q.mu.admitted++
 		q.mu.Unlock()
+		q.obs.AdmissionWait(info.Tenant, 0)
 		return q.releaseFunc(info.Tenant), nil
 	}
 	w := &waiter{info: info, grantCh: make(chan struct{})}
@@ -87,7 +93,9 @@ func (q *CPUQueue) Admit(ctx context.Context, info WorkInfo) (release func(cpu t
 
 	select {
 	case <-w.grantCh:
-		sp.SetAttr("admission.cpu_wait", q.clock.Since(enqueued))
+		wait := q.clock.Since(enqueued)
+		sp.SetAttr("admission.cpu_wait", wait)
+		q.obs.AdmissionWait(info.Tenant, wait)
 		return q.releaseFunc(info.Tenant), nil
 	case <-ctx.Done():
 		q.mu.Lock()

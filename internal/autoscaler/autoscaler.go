@@ -16,6 +16,7 @@ import (
 	"crdbserverless/internal/core"
 	"crdbserverless/internal/metric"
 	"crdbserverless/internal/orchestrator"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 )
 
@@ -37,6 +38,9 @@ type Config struct {
 	SuspendAfter time.Duration
 	// DisablePeakTerm turns off the 1.33x max component (ablation).
 	DisablePeakTerm bool
+	// Obs, when non-nil, records each scaling decision against its tenant
+	// (autoscaler.tenant_scale_events{result=up|down|suspend}).
+	Obs *tenantobs.Plane
 }
 
 // Autoscaler drives SQL node allocation for all tenants of one region.
@@ -195,6 +199,7 @@ func (a *Autoscaler) Reconcile(ctx context.Context) error {
 			if err := a.cfg.Orchestrator.SuspendTenant(ctx, t.Name); err != nil {
 				return err
 			}
+			a.cfg.Obs.ScaleEvent(t.Name, "suspend")
 			a.mu.Lock()
 			delete(a.mu.idleSince, t.Name)
 			a.mu.Unlock()
@@ -202,6 +207,11 @@ func (a *Autoscaler) Reconcile(ctx context.Context) error {
 		}
 		if want < 1 {
 			want = 1 // keep one node while not yet suspendable
+		}
+		if want > len(pods) {
+			a.cfg.Obs.ScaleEvent(t.Name, "up")
+		} else if want < len(pods) {
+			a.cfg.Obs.ScaleEvent(t.Name, "down")
 		}
 		if _, err := a.cfg.Orchestrator.ScaleTenant(ctx, t, want); err != nil {
 			return err

@@ -1,17 +1,22 @@
 // Package debug is the deployment's introspection surface: a plain-text
 // /debug/tracez page (per-operation span-duration percentiles plus
-// retained slow traces, from the tracer's recorder) and a /debug/metrics
+// retained slow traces, from the tracer's recorder), a /debug/metrics
 // page (Prometheus-style exposition of every metric registry in the
-// deployment, one labeled section per region). cmd/crdb-sim serves it
-// over HTTP and dumps it on demand; cmd/repro dumps it after the tracez
-// experiment.
+// deployment, one labeled section per region), and the tenant pages —
+// /debug/tenantz (top-k tenants by QPS/p99/RU/burn-rate, with ?tenant=
+// drill-down) and /debug/slo (per-tenant objectives and multi-window burn
+// rates) — backed by the tenant observability plane. cmd/crdb-sim serves
+// it over HTTP and dumps it on demand; cmd/repro dumps it after the
+// tracez experiment.
 package debug
 
 import (
 	"io"
 	"net/http"
+	"strconv"
 
 	"crdbserverless/internal/metric"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/trace"
 )
 
@@ -27,6 +32,9 @@ type Section struct {
 type Handler struct {
 	Tracer   *trace.Tracer
 	Sections []Section
+	// Tenantz backs /debug/tenantz and /debug/slo; nil renders an
+	// explanatory placeholder.
+	Tenantz *tenantobs.Plane
 }
 
 // WriteTracez writes the /debug/tracez page.
@@ -48,8 +56,23 @@ func (h *Handler) WriteMetrics(w io.Writer) error {
 	return nil
 }
 
-// HTTPHandler returns an http.Handler serving /debug/tracez and
-// /debug/metrics as text/plain.
+// WriteTenantz writes the /debug/tenantz page (top-k tables), or the
+// drill-down for one tenant when tenant is non-empty.
+func (h *Handler) WriteTenantz(w io.Writer, tenant string, topK int) error {
+	if tenant != "" {
+		return h.Tenantz.WriteTenant(w, tenant, h.Tenantz.Now())
+	}
+	return h.Tenantz.WriteTenantz(w, h.Tenantz.Now(), topK)
+}
+
+// WriteSLO writes the /debug/slo page.
+func (h *Handler) WriteSLO(w io.Writer) error {
+	return h.Tenantz.WriteSLO(w, h.Tenantz.Now())
+}
+
+// HTTPHandler returns an http.Handler serving /debug/tracez,
+// /debug/metrics, /debug/tenantz (optional ?tenant= drill-down and ?k=
+// top-k override), and /debug/slo as text/plain.
 func (h *Handler) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/tracez", func(w http.ResponseWriter, _ *http.Request) {
@@ -59,6 +82,15 @@ func (h *Handler) HTTPHandler() http.Handler {
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = h.WriteMetrics(w)
+	})
+	mux.HandleFunc("/debug/tenantz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		topK, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		_ = h.WriteTenantz(w, r.URL.Query().Get("tenant"), topK)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = h.WriteSLO(w)
 	})
 	return mux
 }

@@ -20,6 +20,7 @@ import (
 	"crdbserverless/internal/kvserver"
 	"crdbserverless/internal/sql"
 	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/txn"
 )
@@ -81,6 +82,9 @@ type testbedOptions struct {
 	// livenessLimit overrides the executor queue depth beyond which a node
 	// fails liveness.
 	livenessLimit int
+	// obs, when set, receives per-tenant admission-wait observations from
+	// each node's CPU queue.
+	obs *tenantobs.Plane
 }
 
 func newTestbed(opts testbedOptions) (*testbed, error) {
@@ -105,6 +109,7 @@ func newTestbed(opts testbedOptions) (*testbed, error) {
 			Cost:               opts.cost,
 			AdmissionEnabled:   opts.admission,
 			LivenessQueueLimit: opts.livenessLimit,
+			Obs:                opts.obs,
 		}))
 	}
 	cluster, err := kvserver.NewCluster(kvserver.ClusterConfig{Clock: opts.clock}, nodes)

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Small fleet so the test stays fast; the shapes under test (heavy tail,
+// storm, cardinality overflow, determinism) are size-independent.
+var fleetTestOpts = FleetObsOptions{Tenants: 96, CalmTicks: 10, StormTicks: 5}
+
+func TestFleetObsIsolationContrast(t *testing.T) {
+	res, tbl, err := FleetObs(fleetTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeterminismOK {
+		t.Fatal("same-seed isolated runs rendered different debug pages")
+	}
+	// Isolation: the victim's storm p99 is unchanged from calm, while the
+	// shared queue inflates it by at least an order of magnitude.
+	if res.VictimP99StormIso != res.VictimP99Calm {
+		t.Errorf("isolated victim p99 moved during storm: calm=%v storm=%v",
+			res.VictimP99Calm, res.VictimP99StormIso)
+	}
+	if res.IsolationFactor < 10 {
+		t.Errorf("isolation factor = %.1f, want >= 10", res.IsolationFactor)
+	}
+	// The aggressor burns its SLO budget; the isolated victim does not.
+	if res.AggressorBurnIso < 10 {
+		t.Errorf("aggressor burn = %.1f, want >= 10", res.AggressorBurnIso)
+	}
+	if res.VictimBurnIso != 0 {
+		t.Errorf("isolated victim burn = %.1f, want 0", res.VictimBurnIso)
+	}
+	if res.VictimBurnShared <= res.VictimBurnIso {
+		t.Errorf("shared victim burn = %.1f, want > isolated %.1f",
+			res.VictimBurnShared, res.VictimBurnIso)
+	}
+	// Cardinality policy: the fleet plus the system tenant exceed the cap
+	// by a quarter of the fleet (and one more for "system"), the pages say
+	// so, and the overflow pseudo-tenant is visible.
+	wantAbsorbed := int64(res.Tenants + 1 - res.Tenants*3/4)
+	if res.Absorbed != wantAbsorbed {
+		t.Errorf("absorbed = %d, want %d", res.Absorbed, wantAbsorbed)
+	}
+	if !strings.Contains(res.Tenantz, "__overflow__") {
+		t.Error("tenantz page does not show the __overflow__ pseudo-tenant")
+	}
+	// The real KV/admission/RU paths fed the labeled registry.
+	for _, needle := range []string{
+		"dist_tenant_batches{tenant=\"t-0001\"}",
+		"admission_tenant_wait_count{tenant=\"t-0001\"}",
+		"tenantcost_tenant_ru{tenant=\"t-0001\"}",
+		"sql_tenant_queries{result=\"error\",tenant=\"t-0001\"}",
+	} {
+		if !strings.Contains(res.Metrics, needle) {
+			t.Errorf("exposition page missing %q", needle)
+		}
+	}
+	if tbl == nil || len(tbl.Rows) == 0 {
+		t.Fatal("empty result table")
+	}
+}
+
+func TestFleetObsSameSeedBytesAcrossInvocations(t *testing.T) {
+	a, _, err := FleetObs(fleetTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := FleetObs(fleetTestOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tenantz != b.Tenantz {
+		t.Error("tenantz pages differ across same-seed invocations")
+	}
+	if a.SLO != b.SLO {
+		t.Error("slo pages differ across same-seed invocations")
+	}
+	if a.Metrics != b.Metrics {
+		t.Error("metrics pages differ across same-seed invocations")
+	}
+	if a.VictimPage != b.VictimPage || a.AggressorPage != b.AggressorPage {
+		t.Error("drill-down pages differ across same-seed invocations")
+	}
+}
+
+func TestFleetObsOverflowRunStaysDeterministic(t *testing.T) {
+	// Clamp the plane so hard that most of the fleet lands in the overflow
+	// bucket: the pages must stay byte-stable and the absorbed count exact.
+	opts := fleetTestOpts
+	opts.MaxTenants = 8
+	a, _, err := FleetObs(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.DeterminismOK {
+		t.Fatal("overflow-heavy same-seed runs rendered different debug pages")
+	}
+	if want := int64(opts.Tenants + 1 - 8); a.Absorbed != want {
+		t.Errorf("absorbed = %d, want %d", a.Absorbed, want)
+	}
+	if !strings.Contains(a.Metrics, "sql_tenant_queries{result=\"ok\",tenant=\"__overflow__\"}") {
+		t.Error("exposition page missing the overflow query series")
+	}
+}
+
+func TestFleetCalmLoadHeavyTail(t *testing.T) {
+	if fleetCalmLoad(1) <= 10*fleetCalmLoad(100) {
+		t.Errorf("load curve not heavy-tailed: rank1=%d rank100=%d",
+			fleetCalmLoad(1), fleetCalmLoad(100))
+	}
+	if fleetCalmLoad(100000) != 1 {
+		t.Errorf("deep-tail load = %d, want floor of 1", fleetCalmLoad(100000))
+	}
+}
+
+func TestFleetTickMatchesWindowWidth(t *testing.T) {
+	// The storm/calm phase math assumes ticks align with the plane's
+	// default window width.
+	if fleetTick != 15*time.Second {
+		t.Errorf("fleetTick = %v, want 15s", fleetTick)
+	}
+}

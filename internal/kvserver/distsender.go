@@ -9,6 +9,7 @@ import (
 	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/trace"
 )
 
@@ -36,6 +37,9 @@ type DistSender struct {
 	// faults, when non-nil, arms the sender's fault-injection sites
 	// (dist.subbatch.err, dist.desc.stale).
 	faults *faultinject.Registry
+	// obs, when non-nil, counts each batch against the sender's tenant
+	// (dist.tenant_batches).
+	obs *tenantobs.Plane
 
 	mu struct {
 		sync.Mutex
@@ -63,6 +67,9 @@ type Config struct {
 	// it (the response is dropped on the floor), and dist.desc.stale makes a
 	// META lookup return a stale cached descriptor instead of the fresh one.
 	Faults *faultinject.Registry
+	// Obs, when non-nil, counts each Send against the sender's tenant on
+	// the tenant observability plane.
+	Obs *tenantobs.Plane
 }
 
 // DefaultParallelism is the default bound on concurrent per-range dispatch.
@@ -92,6 +99,7 @@ func NewDistSender(c *Cluster, id Identity, cfg ...Config) *DistSender {
 		parallelism: conf.Parallelism,
 		cacheLimit:  conf.CacheLimit,
 		faults:      conf.Faults,
+		obs:         conf.Obs,
 	}
 	ds.mu.leaseHints = make(map[RangeID]NodeID)
 	return ds
@@ -109,6 +117,7 @@ func (ds *DistSender) Send(ctx context.Context, ba *kvpb.BatchRequest) (*kvpb.Ba
 	ctx, sp := trace.StartSpan(ctx, "dist.send")
 	defer sp.Finish()
 	sp.SetAttr("dist.requests", len(ba.Requests))
+	ds.obs.Batch(ds.identity.Tenant)
 	if ba.Timestamp.IsEmpty() && ba.Txn == nil {
 		ba.Timestamp = ds.cluster.Clock().Now()
 	}

@@ -9,6 +9,7 @@ import (
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
 	"crdbserverless/internal/lsm"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 )
 
@@ -28,6 +29,9 @@ type NodeConfig struct {
 	// fails liveness (it is too overloaded to heartbeat). Defaults to
 	// 300 * VCPUs.
 	LivenessQueueLimit int
+	// Obs, when non-nil, receives per-tenant admission-wait observations
+	// from the node's CPU queue.
+	Obs *tenantobs.Plane
 }
 
 // Node is one KV process: a storage engine shared by all its replicas, a
@@ -94,6 +98,7 @@ func NewNode(cfg NodeConfig) *Node {
 		InitialSlots: cfg.VCPUs * 2,
 		MaxSlots:     cfg.VCPUs * 64,
 		Clock:        cfg.Clock,
+		Obs:          cfg.Obs,
 	})
 	n.writeQ = admission.NewWriteQueue(admission.WriteQueueOptions{Clock: cfg.Clock})
 	n.mu.acEnabled = cfg.AdmissionEnabled

@@ -26,6 +26,28 @@ var metricRegisterFuncs = map[string]bool{
 	"NewTimeSeries": true,
 }
 
+// metricVecFuncs are the labeled-vector constructors. Their trailing
+// arguments are label keys, which carry their own conventions: literal
+// lowercase snake_case strings drawn from the allowed vocabulary, and at
+// least one of them (an unlabeled vector should be a plain metric).
+var metricVecFuncs = map[string]bool{
+	"NewCounterVec":   true,
+	"NewGaugeVec":     true,
+	"NewHistogramVec": true,
+}
+
+// metricLabelKeyRE is the shape of a label key: lowercase snake_case.
+var metricLabelKeyRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// metricAllowedLabelKeys is the label vocabulary shared across dashboards;
+// a new dimension is a deliberate act, added here first.
+var metricAllowedLabelKeys = map[string]bool{
+	"tenant": true,
+	"region": true,
+	"node":   true,
+	"result": true,
+}
+
 // metricNameIndex tracks every literal registration site in the tree so the
 // second registration of a name can be reported as a duplicate.
 type metricNameIndex struct {
@@ -53,16 +75,20 @@ func checkMetricNames(f *file, idx *metricNameIndex) []Diagnostic {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !metricRegisterFuncs[sel.Sel.Name] {
+		if !ok || (!metricRegisterFuncs[sel.Sel.Name] && !metricVecFuncs[sel.Sel.Name]) {
 			return true
+		}
+		if metricVecFuncs[sel.Sel.Name] {
+			diags = append(diags, checkVecLabelKeys(f, sel.Sel.Name, call)...)
 		}
 		lit, ok := call.Args[0].(*ast.BasicLit)
 		if !ok || lit.Kind != token.STRING {
-			// MustRegister is unambiguous; its name must be a literal so
-			// the duplicate check can see it. The New* helpers double as
-			// package-level constructors, so a non-string first argument
-			// simply means "not a registration".
-			if sel.Sel.Name == "MustRegister" {
+			// MustRegister and the *Vec constructors are unambiguous; their
+			// names must be literals so the duplicate check can see them.
+			// The other New* helpers double as package-level constructors,
+			// so a non-string first argument simply means "not a
+			// registration".
+			if sel.Sel.Name == "MustRegister" || metricVecFuncs[sel.Sel.Name] {
 				diags = append(diags, Diagnostic{
 					Pos:     f.fset.Position(call.Args[0].Pos()),
 					Check:   "metricnames",
@@ -89,6 +115,53 @@ func checkMetricNames(f *file, idx *metricNameIndex) []Diagnostic {
 		}
 		return true
 	})
+	return diags
+}
+
+// checkVecLabelKeys validates the label-key arguments of a labeled-vector
+// constructor: at least one key, each a literal lowercase snake_case string
+// from the allowed vocabulary.
+func checkVecLabelKeys(f *file, fn string, call *ast.CallExpr) []Diagnostic {
+	var diags []Diagnostic
+	if len(call.Args) < 2 {
+		diags = append(diags, Diagnostic{
+			Pos:     f.fset.Position(call.Pos()),
+			Check:   "metricnames",
+			Message: fmt.Sprintf("%s without label keys: an unlabeled vector should be a plain metric", fn),
+		})
+		return diags
+	}
+	for _, arg := range call.Args[1:] {
+		lit, ok := arg.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			diags = append(diags, Diagnostic{
+				Pos:     f.fset.Position(arg.Pos()),
+				Check:   "metricnames",
+				Message: "label key must be a string literal so the label schema is statically checkable",
+			})
+			continue
+		}
+		key, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			continue
+		}
+		pos := f.fset.Position(lit.Pos())
+		if !metricLabelKeyRE.MatchString(key) {
+			diags = append(diags, Diagnostic{
+				Pos:     pos,
+				Check:   "metricnames",
+				Message: fmt.Sprintf("label key %q is not lowercase snake_case", key),
+			})
+			continue
+		}
+		if !metricAllowedLabelKeys[key] {
+			diags = append(diags, Diagnostic{
+				Pos:     pos,
+				Check:   "metricnames",
+				Message: fmt.Sprintf("label key %q is not in the allowed vocabulary (tenant, region, node, result)", key),
+			})
+		}
+	}
 	return diags
 }
 

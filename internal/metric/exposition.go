@@ -9,12 +9,13 @@ import (
 )
 
 // This file implements a Prometheus-style text exposition of a Registry:
-// every registered metric — counters, gauges, histograms (as summaries
-// with p50/p95/p99), and time series — rendered in deterministic sorted
-// name order. Dots in registered names become underscores (the
-// registry's `subsystem.name` convention maps onto Prometheus's
-// `subsystem_name`), and an optional label set distinguishes multiple
-// registries sharing one page (e.g. one per region).
+// every registered metric — counters, gauges, histograms (with cumulative
+// _bucket{le=...} lines plus _sum/_count so scraped rates, averages, and
+// quantile estimates all work), labeled vectors, and time series — rendered
+// in deterministic sorted name order. Dots in registered names become
+// underscores (the registry's `subsystem.name` convention maps onto
+// Prometheus's `subsystem_name`), and an optional label set distinguishes
+// multiple registries sharing one page (e.g. one per region).
 
 // expositionName converts a registered `subsystem.name` to the exposed
 // `subsystem_name` form.
@@ -70,20 +71,26 @@ func (r *Registry) WriteExpositionLabels(w io.Writer, labels map[string]string) 
 			fmt.Fprintf(&b, "# TYPE %s gauge\n", en)
 			fmt.Fprintf(&b, "%s%s %s\n", en, ls, formatFloat(v.Value()))
 		case *Histogram:
-			s := v.Snapshot()
-			fmt.Fprintf(&b, "# TYPE %s summary\n", en)
-			for _, q := range []struct {
-				label string
-				d     float64
-			}{
-				{`quantile="0.5"`, s.P50.Seconds()},
-				{`quantile="0.95"`, s.P95.Seconds()},
-				{`quantile="0.99"`, s.P99.Seconds()},
-			} {
-				fmt.Fprintf(&b, "%s%s %s\n", en, formatLabels(labels, q.label), formatFloat(q.d))
-			}
-			fmt.Fprintf(&b, "%s_sum%s %s\n", en, ls, formatFloat(s.Sum.Seconds()))
-			fmt.Fprintf(&b, "%s_count%s %d\n", en, ls, s.Count)
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", en)
+			writeHistogramLines(&b, en, labels, v.Snapshot())
+		case *CounterVec:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", en)
+			keys := v.Keys()
+			v.Each(func(values []string, c *Counter) {
+				fmt.Fprintf(&b, "%s%s %d\n", en, formatLabels(mergeLabels(labels, keys, values), ""), c.Value())
+			})
+		case *GaugeVec:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", en)
+			keys := v.Keys()
+			v.Each(func(values []string, g *Gauge) {
+				fmt.Fprintf(&b, "%s%s %s\n", en, formatLabels(mergeLabels(labels, keys, values), ""), formatFloat(g.Value()))
+			})
+		case *HistogramVec:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", en)
+			keys := v.Keys()
+			v.Each(func(values []string, h *Histogram) {
+				writeHistogramLines(&b, en, mergeLabels(labels, keys, values), h.Snapshot())
+			})
 		case *TimeSeries:
 			var latest float64
 			if s, ok := v.Latest(); ok {
@@ -98,4 +105,30 @@ func (r *Registry) WriteExpositionLabels(w io.Writer, labels map[string]string) 
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// mergeLabels overlays a vector child's key/value pairs onto a base label
+// set (the child wins on collision).
+func mergeLabels(base map[string]string, keys, values []string) map[string]string {
+	out := make(map[string]string, len(base)+len(keys))
+	for k, v := range base {
+		out[k] = v
+	}
+	for i, k := range keys {
+		out[k] = values[i]
+	}
+	return out
+}
+
+// writeHistogramLines renders one histogram series in Prometheus histogram
+// form: cumulative _bucket{le=...} lines (bounds in seconds), then _sum and
+// _count so scraped averages work.
+func writeHistogramLines(b *strings.Builder, en string, labels map[string]string, s Summary) {
+	for _, bc := range s.Buckets {
+		le := fmt.Sprintf("le=%q", formatFloat(bc.UpperBound.Seconds()))
+		fmt.Fprintf(b, "%s_bucket%s %d\n", en, formatLabels(labels, le), bc.Count)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", en, formatLabels(labels, `le="+Inf"`), s.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", en, formatLabels(labels, ""), formatFloat(s.Sum.Seconds()))
+	fmt.Fprintf(b, "%s_count%s %d\n", en, formatLabels(labels, ""), s.Count)
 }

@@ -19,6 +19,9 @@ func buildExpositionRegistry() *Registry {
 	ts := r.NewTimeSeries("autoscaler.vcpus", 0)
 	ts.Add(time.Unix(10, 0), 2)
 	ts.Add(time.Unix(20, 0), 4)
+	cv := r.NewCounterVec("proxy.tenant_conns", "tenant")
+	cv.With("beta").Inc(3)
+	cv.With("alpha").Inc(9)
 	return r
 }
 
@@ -62,14 +65,17 @@ func TestExpositionFormatPerType(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE proxy_requests counter\nproxy_requests 7\n",
 		"# TYPE kv_cpu_load gauge\nkv_cpu_load 0.625\n",
-		"# TYPE sql_exec_latency summary\n",
-		`sql_exec_latency{quantile="0.5"} 0.05` + "\n",
-		`sql_exec_latency{quantile="0.95"} 0.095` + "\n",
-		`sql_exec_latency{quantile="0.99"} 0.099` + "\n",
+		"# TYPE sql_exec_latency histogram\n",
+		`sql_exec_latency_bucket{le="0.001"} `,
+		`sql_exec_latency_bucket{le="0.064"} `,
+		`sql_exec_latency_bucket{le="+Inf"} 100` + "\n",
 		"sql_exec_latency_sum 5.05\n",
 		"sql_exec_latency_count 100\n",
 		"# TYPE autoscaler_vcpus gauge\nautoscaler_vcpus 4\n",
 		"autoscaler_vcpus_samples 2\n",
+		"# TYPE proxy_tenant_conns counter\n" +
+			`proxy_tenant_conns{tenant="alpha"} 9` + "\n" +
+			`proxy_tenant_conns{tenant="beta"} 3` + "\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -88,11 +94,11 @@ func TestExpositionLabelsSortedAndOnEveryLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	// Label keys render sorted regardless of map order, and the quantile
+	// Label keys render sorted regardless of map order, and the le
 	// label comes last.
 	for _, want := range []string{
 		`proxy_requests{region="us-east1",zone="b"} 1`,
-		`sql_exec_latency{region="us-east1",zone="b",quantile="0.5"}`,
+		`sql_exec_latency_bucket{region="us-east1",zone="b",le="0.001"}`,
 		`sql_exec_latency_count{region="us-east1",zone="b"} 1`,
 	} {
 		if !strings.Contains(out, want) {

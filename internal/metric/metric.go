@@ -176,14 +176,55 @@ func (h *Histogram) Snapshot() Summary {
 	}
 	quants := h.quantilesLocked(0.50, 0.95, 0.99)
 	return Summary{
-		Count: h.total,
-		Sum:   h.sum,
-		Mean:  mean,
-		P50:   quants[0],
-		P95:   quants[1],
-		P99:   quants[2],
-		Max:   h.max,
+		Count:   h.total,
+		Sum:     h.sum,
+		Mean:    mean,
+		P50:     quants[0],
+		P95:     quants[1],
+		P99:     quants[2],
+		Max:     h.max,
+		Buckets: h.cumulativeBucketsLocked(),
 	}
+}
+
+// ExpositionBounds is the fixed upper-bound ladder histograms are folded
+// onto for Prometheus `_bucket{le=...}` exposition. Coarser than the
+// internal bucket space on purpose: scrape output stays small and the
+// ladder is identical for every histogram, so recording rules can
+// aggregate across them.
+var ExpositionBounds = []time.Duration{
+	time.Millisecond,
+	4 * time.Millisecond,
+	16 * time.Millisecond,
+	64 * time.Millisecond,
+	256 * time.Millisecond,
+	time.Second,
+	4 * time.Second,
+	16 * time.Second,
+}
+
+// cumulativeBucketsLocked folds the internal exponential buckets onto
+// ExpositionBounds, returning the cumulative count at or under each bound.
+// Caller must hold h.mu.
+func (h *Histogram) cumulativeBucketsLocked() []BucketCount {
+	out := make([]BucketCount, len(ExpositionBounds))
+	var cum uint64
+	b := 0
+	for i, bound := range ExpositionBounds {
+		for b < len(h.counts) && bucketUpper(b) <= bound {
+			cum += h.counts[b]
+			b++
+		}
+		out[i] = BucketCount{UpperBound: bound, Count: cum}
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket: the number of
+// observations at or under UpperBound.
+type BucketCount struct {
+	UpperBound time.Duration
+	Count      uint64
 }
 
 // Summary is a point-in-time latency summary.
@@ -195,6 +236,9 @@ type Summary struct {
 	P95   time.Duration
 	P99   time.Duration
 	Max   time.Duration
+	// Buckets holds cumulative counts on the ExpositionBounds ladder; the
+	// implicit +Inf bucket equals Count.
+	Buckets []BucketCount
 }
 
 // String renders the summary in a compact table-friendly form.

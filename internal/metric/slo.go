@@ -1,0 +1,91 @@
+package metric
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file implements per-tenant SLO tracking with multi-window burn
+// rates. An Objective declares what "good" means (latency at or under a
+// threshold, and no error) and what fraction of requests must be good (the
+// target). The burn rate over a window is
+//
+//	burn(W) = badFraction(W) / (1 - target)
+//
+// i.e. how many times faster than "exactly exhausting the error budget"
+// the tenant is currently burning it. burn = 1 means the budget drains
+// exactly at the sustainable pace; burn = 10 over 5m is the classic page
+// condition. Two windows (5m and 1h) distinguish a fast spike from a slow
+// leak, per the standard multi-window multi-burn-rate alerting scheme.
+
+// Objective declares a per-tenant latency/availability objective.
+type Objective struct {
+	// LatencyThreshold is the latency at or under which a successful
+	// request counts as good.
+	LatencyThreshold time.Duration
+	// Target is the required good fraction, e.g. 0.999.
+	Target float64
+}
+
+// DefaultObjective is the objective tenants get unless one is declared:
+// 99.9% of requests good within 100ms.
+func DefaultObjective() Objective {
+	return Objective{LatencyThreshold: 100 * time.Millisecond, Target: 0.999}
+}
+
+// String renders the objective compactly, e.g. "99.9% < 100ms".
+func (o Objective) String() string {
+	return fmt.Sprintf("%g%% < %v", o.Target*100, o.LatencyThreshold)
+}
+
+// Burn windows for the multi-window burn-rate computation.
+const (
+	BurnShortWindow = 5 * time.Minute
+	BurnLongWindow  = time.Hour
+)
+
+// SLO tracks one tenant's request outcomes against an Objective.
+type SLO struct {
+	obj Objective
+	win *Windowed
+}
+
+// NewSLO returns an SLO tracker over a fresh window ring.
+func NewSLO(obj Objective, width time.Duration, n int) *SLO {
+	if obj.Target <= 0 || obj.Target >= 1 {
+		obj = DefaultObjective()
+	}
+	return &SLO{obj: obj, win: NewWindowed(width, n)}
+}
+
+// Objective returns the declared objective.
+func (s *SLO) Objective() Objective { return s.obj }
+
+// Record classifies one request: good iff it did not error and its latency
+// is at or under the objective's threshold.
+func (s *SLO) Record(now time.Time, latency time.Duration, errored bool) {
+	bad := errored || latency > s.obj.LatencyThreshold
+	s.win.Observe(now, latency, bad)
+}
+
+// GoodFraction returns the fraction of good requests over the trailing
+// span, or 1 when there were none (an idle tenant is not violating its
+// SLO).
+func (s *SLO) GoodFraction(now time.Time, span time.Duration) float64 {
+	count, bad, _ := s.win.Totals(now, span)
+	if count == 0 {
+		return 1
+	}
+	return 1 - float64(bad)/float64(count)
+}
+
+// BurnRate returns the error-budget burn rate over the trailing span: the
+// bad fraction divided by the budget (1 - target). 0 when idle.
+func (s *SLO) BurnRate(now time.Time, span time.Duration) float64 {
+	count, bad, _ := s.win.Totals(now, span)
+	if count == 0 {
+		return 0
+	}
+	budget := 1 - s.obj.Target
+	return (float64(bad) / float64(count)) / budget
+}

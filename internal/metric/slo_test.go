@@ -1,0 +1,67 @@
+package metric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSLOBurnRate(t *testing.T) {
+	obj := Objective{LatencyThreshold: 100 * time.Millisecond, Target: 0.999}
+	s := NewSLO(obj, 15*time.Second, 240)
+	base := time.Unix(10000, 0)
+	// 1000 requests, 10 bad (5 errors + 5 over-threshold):
+	// badFraction = 0.01, budget = 0.001, burn = 10.
+	for i := 0; i < 1000; i++ {
+		lat := 10 * time.Millisecond
+		errored := false
+		switch {
+		case i < 5:
+			errored = true
+		case i < 10:
+			lat = 500 * time.Millisecond
+		}
+		s.Record(base, lat, errored)
+	}
+	if got := s.GoodFraction(base, BurnShortWindow); got != 0.99 {
+		t.Fatalf("GoodFraction = %v, want 0.99", got)
+	}
+	burn := s.BurnRate(base, BurnShortWindow)
+	if burn < 9.99 || burn > 10.01 {
+		t.Fatalf("BurnRate = %v, want ~10", burn)
+	}
+}
+
+func TestSLOIdleTenant(t *testing.T) {
+	s := NewSLO(DefaultObjective(), 15*time.Second, 240)
+	now := time.Unix(10000, 0)
+	if got := s.GoodFraction(now, BurnShortWindow); got != 1 {
+		t.Fatalf("idle GoodFraction = %v, want 1", got)
+	}
+	if got := s.BurnRate(now, BurnLongWindow); got != 0 {
+		t.Fatalf("idle BurnRate = %v, want 0", got)
+	}
+}
+
+func TestSLOMultiWindow(t *testing.T) {
+	// A burst 30 minutes ago shows up in the 1h burn rate but not the 5m
+	// one — the multi-window distinction that separates a past spike from
+	// an ongoing incident.
+	s := NewSLO(Objective{LatencyThreshold: 50 * time.Millisecond, Target: 0.99}, 15*time.Second, 240)
+	base := time.Unix(100000, 0)
+	for i := 0; i < 100; i++ {
+		s.Record(base.Add(-30*time.Minute), time.Second, false) // all bad
+	}
+	for i := 0; i < 100; i++ {
+		s.Record(base, time.Millisecond, false) // all good
+	}
+	if got := s.BurnRate(base, BurnShortWindow); got != 0 {
+		t.Fatalf("5m burn = %v, want 0", got)
+	}
+	long := s.BurnRate(base, BurnLongWindow)
+	if long < 49 || long > 51 {
+		t.Fatalf("1h burn = %v, want ~50 (half the requests bad, budget 0.01)", long)
+	}
+	if def := NewSLO(Objective{}, 0, 0); def.Objective() != DefaultObjective() {
+		t.Fatalf("zero objective not defaulted: %+v", def.Objective())
+	}
+}

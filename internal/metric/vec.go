@@ -1,0 +1,284 @@
+package metric
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements labeled metric vectors: families of child metrics
+// keyed by a small, fixed set of label keys (the tenant dimension, mostly).
+// Cardinality is hard-capped: once a vector holds maxCardinality distinct
+// label sets, every further label set is routed to a single shared
+// __overflow__ child instead of allocating a new one. Which label sets land
+// in overflow is first-arrival order, so under a deterministic workload the
+// split is deterministic too — the same property every other part of this
+// codebase relies on for byte-identical same-seed output.
+
+// OverflowLabelValue is the label value under which a vector aggregates all
+// label sets beyond its cardinality cap.
+const OverflowLabelValue = "__overflow__"
+
+// DefaultVecCardinality is the per-vector cap on distinct label sets. 2048
+// comfortably holds the "thousands of tenants per cluster" regime the paper
+// targets while bounding worst-case memory to a few MB per vector.
+const DefaultVecCardinality = 2048
+
+// labelKeyRE is the shape every label key must have: lowercase snake_case.
+// crdb-lint's metricnames check additionally restricts keys to a small
+// allowed vocabulary at registration sites.
+var labelKeyRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// vecSep joins label values into a child key. 0xff cannot appear in UTF-8
+// text, so joined keys cannot collide across value boundaries.
+const vecSep = "\xff"
+
+// vecChild pairs a child metric with the label values that key it.
+type vecChild struct {
+	values []string
+	m      any
+}
+
+// vecCore holds the label-set bookkeeping shared by CounterVec, GaugeVec,
+// and HistogramVec.
+type vecCore struct {
+	keys []string
+
+	mu       sync.Mutex
+	max      int
+	children map[string]*vecChild
+	overflow *vecChild // lazily created once the cap is hit
+	absorbed int64     // distinct label sets routed to overflow
+}
+
+func newVecCore(name string, keys []string) vecCore {
+	if len(keys) == 0 {
+		panic(fmt.Sprintf("metric: vector %q needs at least one label key", name))
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if !labelKeyRE.MatchString(k) {
+			panic(fmt.Sprintf("metric: vector %q label key %q is not lowercase snake_case", name, k))
+		}
+		if seen[k] {
+			panic(fmt.Sprintf("metric: vector %q repeats label key %q", name, k))
+		}
+		seen[k] = true
+	}
+	return vecCore{
+		keys:     append([]string(nil), keys...),
+		max:      DefaultVecCardinality,
+		children: make(map[string]*vecChild),
+	}
+}
+
+// Keys returns the vector's label keys in declaration order.
+func (v *vecCore) Keys() []string { return append([]string(nil), v.keys...) }
+
+// SetMaxCardinality lowers (or raises) the cap on distinct label sets.
+// Existing children are kept even if they exceed a lowered cap; only new
+// label sets are affected.
+func (v *vecCore) SetMaxCardinality(n int) {
+	if n < 1 {
+		n = 1
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.max = n
+}
+
+// Len returns the number of distinct (non-overflow) children.
+func (v *vecCore) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.children)
+}
+
+// Absorbed returns how many distinct label sets have been routed to the
+// overflow child.
+func (v *vecCore) Absorbed() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.absorbed
+}
+
+// child returns the metric for the given label values, creating it with
+// mk on first use. Past the cardinality cap it returns the shared overflow
+// child instead.
+func (v *vecCore) child(values []string, mk func() any) any {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("metric: vector expects %d label values, got %d", len(v.keys), len(values)))
+	}
+	k := strings.Join(values, vecSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[k]; ok {
+		return c.m
+	}
+	if len(v.children) >= v.max {
+		// An explicit __overflow__ label set maps to the same child, so the
+		// overflow bucket is addressable without inflating absorbed counts.
+		explicit := true
+		for _, val := range values {
+			if val != OverflowLabelValue {
+				explicit = false
+				break
+			}
+		}
+		if !explicit {
+			v.absorbed++
+		}
+		if v.overflow == nil {
+			ov := make([]string, len(v.keys))
+			for i := range ov {
+				ov[i] = OverflowLabelValue
+			}
+			v.overflow = &vecChild{values: ov, m: mk()}
+		}
+		return v.overflow.m
+	}
+	c := &vecChild{values: append([]string(nil), values...), m: mk()}
+	v.children[k] = c
+	return c.m
+}
+
+// peek returns the child for the given label values without creating it:
+// nil when the label set has never been observed. Explicit overflow values
+// resolve to the overflow child if one exists.
+func (v *vecCore) peek(values []string) any {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("metric: vector expects %d label values, got %d", len(v.keys), len(values)))
+	}
+	k := strings.Join(values, vecSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[k]; ok {
+		return c.m
+	}
+	if v.overflow != nil && k == strings.Join(v.overflow.values, vecSep) {
+		return v.overflow.m
+	}
+	return nil
+}
+
+// each calls fn for every child in sorted label-value order, with the
+// overflow child (if any) last. The snapshot is taken under the lock; fn
+// runs outside it.
+func (v *vecCore) each(fn func(values []string, m any)) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := make([]*vecChild, 0, len(keys)+1)
+	for _, k := range keys {
+		snap = append(snap, v.children[k])
+	}
+	if v.overflow != nil {
+		snap = append(snap, v.overflow)
+	}
+	v.mu.Unlock()
+	for _, c := range snap {
+		fn(c.values, c.m)
+	}
+}
+
+// CounterVec is a family of Counters keyed by label values.
+type CounterVec struct {
+	vecCore
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name string, labelKeys ...string) *CounterVec {
+	v := &CounterVec{vecCore: newVecCore(name, labelKeys)}
+	r.MustRegister(name, v)
+	return v
+}
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.child(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Peek returns the child counter for the given label values, or nil if
+// that label set has never been observed. Unlike With, it never creates a
+// series, so read paths (debug pages) don't perturb the exposition.
+func (v *CounterVec) Peek(values ...string) *Counter {
+	m := v.peek(values)
+	if m == nil {
+		return nil
+	}
+	return m.(*Counter)
+}
+
+// Each calls fn for every child in sorted label-value order.
+func (v *CounterVec) Each(fn func(values []string, c *Counter)) {
+	v.each(func(values []string, m any) { fn(values, m.(*Counter)) })
+}
+
+// GaugeVec is a family of Gauges keyed by label values.
+type GaugeVec struct {
+	vecCore
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name string, labelKeys ...string) *GaugeVec {
+	v := &GaugeVec{vecCore: newVecCore(name, labelKeys)}
+	r.MustRegister(name, v)
+	return v
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.child(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Peek returns the child gauge for the given label values, or nil if that
+// label set has never been observed.
+func (v *GaugeVec) Peek(values ...string) *Gauge {
+	m := v.peek(values)
+	if m == nil {
+		return nil
+	}
+	return m.(*Gauge)
+}
+
+// Each calls fn for every child in sorted label-value order.
+func (v *GaugeVec) Each(fn func(values []string, g *Gauge)) {
+	v.each(func(values []string, m any) { fn(values, m.(*Gauge)) })
+}
+
+// HistogramVec is a family of Histograms keyed by label values.
+type HistogramVec struct {
+	vecCore
+}
+
+// NewHistogramVec registers and returns a labeled histogram family.
+func (r *Registry) NewHistogramVec(name string, labelKeys ...string) *HistogramVec {
+	v := &HistogramVec{vecCore: newVecCore(name, labelKeys)}
+	r.MustRegister(name, v)
+	return v
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.child(values, func() any { return NewHistogram() }).(*Histogram)
+}
+
+// Peek returns the child histogram for the given label values, or nil if
+// that label set has never been observed.
+func (v *HistogramVec) Peek(values ...string) *Histogram {
+	m := v.peek(values)
+	if m == nil {
+		return nil
+	}
+	return m.(*Histogram)
+}
+
+// Each calls fn for every child in sorted label-value order.
+func (v *HistogramVec) Each(fn func(values []string, h *Histogram)) {
+	v.each(func(values []string, m any) { fn(values, m.(*Histogram)) })
+}

@@ -1,0 +1,202 @@
+package metric
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements a windowed in-memory time-series store: observations
+// land in clock-aligned fixed-width windows arranged in a ring, so rate and
+// quantile queries over "the last 5 minutes" or "the last hour" are cheap
+// scans over a handful of windows and old data ages out without any
+// background goroutine. Alignment (window start = now truncated to the
+// width) makes same-seed simulated runs land every observation in the same
+// window, which is what keeps /debug/tenantz byte-identical across runs.
+
+// windowBounds is the coarse latency ladder used inside windows. It is much
+// smaller than the Histogram bucket space because a window ring multiplies
+// it by windows x series; 16 bounds from 250µs to 8s (x2 steps) is enough
+// resolution for SLO-grade p99s.
+var windowBounds = func() []time.Duration {
+	bounds := make([]time.Duration, 0, 16)
+	for d := 250 * time.Microsecond; d <= 8*time.Second; d *= 2 {
+		bounds = append(bounds, d)
+	}
+	return bounds
+}()
+
+func windowBucketFor(d time.Duration) int {
+	for i, b := range windowBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return len(windowBounds) // +Inf bucket
+}
+
+// window accumulates observations whose timestamps fall in
+// [start, start+width).
+type window struct {
+	start   time.Time
+	count   uint64
+	bad     uint64
+	sum     time.Duration
+	buckets [17]uint64 // len(windowBounds)+1; last is +Inf
+}
+
+// Windowed is a ring of aligned windows. Safe for concurrent use.
+type Windowed struct {
+	width time.Duration
+	n     int
+
+	mu    sync.Mutex
+	slots []*window // index = (start/width) mod n; nil until first use
+}
+
+// DefaultWindowWidth and DefaultWindowCount retain one hour of 15-second
+// windows — enough span for the 1h burn-rate window with 15s resolution for
+// the 5m one.
+const (
+	DefaultWindowWidth = 15 * time.Second
+	DefaultWindowCount = 240
+)
+
+// NewWindowed returns a ring of n windows of the given width.
+func NewWindowed(width time.Duration, n int) *Windowed {
+	if width <= 0 {
+		width = DefaultWindowWidth
+	}
+	if n < 2 {
+		n = 2
+	}
+	return &Windowed{width: width, n: n, slots: make([]*window, n)}
+}
+
+// Width returns the window width.
+func (w *Windowed) Width() time.Duration { return w.width }
+
+// Span returns the total retention of the ring.
+func (w *Windowed) Span() time.Duration { return w.width * time.Duration(w.n) }
+
+// slotFor returns the live window covering t, evicting a stale occupant of
+// the slot if the ring has wrapped. Caller must hold w.mu.
+func (w *Windowed) slotFor(t time.Time) *window {
+	start := t.Truncate(w.width)
+	idx := int((start.UnixNano() / int64(w.width)) % int64(w.n))
+	if idx < 0 {
+		idx += w.n
+	}
+	if s := w.slots[idx]; s != nil && s.start.Equal(start) {
+		return s
+	}
+	s := &window{start: start}
+	w.slots[idx] = s
+	return s
+}
+
+// Observe records one observation at time now: its latency and whether it
+// was bad (an error, or over-threshold — the caller decides).
+func (w *Windowed) Observe(now time.Time, latency time.Duration, bad bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.slotFor(now)
+	s.count++
+	s.sum += latency
+	s.buckets[windowBucketFor(latency)]++
+	if bad {
+		s.bad++
+	}
+}
+
+// visit calls fn for every window in the trailing span ending at now: the
+// window containing now plus the aligned windows after the cutoff. The
+// cutoff itself is aligned (truncated to the width), so a window is either
+// fully in or fully out — no partial-overlap double counting.
+// Caller must hold w.mu.
+func (w *Windowed) visit(now time.Time, span time.Duration, fn func(*window)) {
+	if span > w.Span() {
+		span = w.Span()
+	}
+	cutoffStart := now.Add(-span).Truncate(w.width)
+	for _, s := range w.slots {
+		if s == nil {
+			continue
+		}
+		if s.start.After(cutoffStart) && !s.start.After(now) {
+			fn(s)
+		}
+	}
+}
+
+// Totals returns the observation count, bad count, and latency sum over the
+// trailing span ending at now.
+func (w *Windowed) Totals(now time.Time, span time.Duration) (count, bad uint64, sum time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.visit(now, span, func(s *window) {
+		count += s.count
+		bad += s.bad
+		sum += s.sum
+	})
+	return count, bad, sum
+}
+
+// Rate returns observations per second over the trailing span ending at now.
+func (w *Windowed) Rate(now time.Time, span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	if span > w.Span() {
+		span = w.Span()
+	}
+	count, _, _ := w.Totals(now, span)
+	return float64(count) / span.Seconds()
+}
+
+// BadFraction returns the fraction of observations marked bad over the
+// trailing span ending at now, or 0 when there were none.
+func (w *Windowed) BadFraction(now time.Time, span time.Duration) float64 {
+	count, bad, _ := w.Totals(now, span)
+	if count == 0 {
+		return 0
+	}
+	return float64(bad) / float64(count)
+}
+
+// Quantile returns the q-th latency quantile over the trailing span ending
+// at now, interpolated from the coarse window ladder (the returned value is
+// the upper bound of the bucket the quantile falls in).
+func (w *Windowed) Quantile(now time.Time, span time.Duration, q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var merged [17]uint64
+	var total uint64
+	w.visit(now, span, func(s *window) {
+		for i, c := range s.buckets {
+			merged[i] += c
+		}
+		total += s.count
+	})
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range merged {
+		cum += c
+		if cum > target {
+			if i < len(windowBounds) {
+				return windowBounds[i]
+			}
+			// +Inf bucket: report one step past the ladder.
+			return 2 * windowBounds[len(windowBounds)-1]
+		}
+	}
+	return 2 * windowBounds[len(windowBounds)-1]
+}

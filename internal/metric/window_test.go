@@ -1,0 +1,88 @@
+package metric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowedTotalsAndRate(t *testing.T) {
+	w := NewWindowed(15*time.Second, 8)
+	base := time.Unix(1000, 0)
+	// 10 observations in the current window, 5 in the previous one.
+	for i := 0; i < 5; i++ {
+		w.Observe(base.Add(-20*time.Second), 10*time.Millisecond, false)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(base, 20*time.Millisecond, i == 0)
+	}
+	count, bad, sum := w.Totals(base, 15*time.Second)
+	if count != 10 || bad != 1 {
+		t.Fatalf("Totals(15s) = %d/%d, want 10/1", count, bad)
+	}
+	if sum != 200*time.Millisecond {
+		t.Fatalf("sum = %v, want 200ms", sum)
+	}
+	count, _, _ = w.Totals(base, time.Minute)
+	if count != 15 {
+		t.Fatalf("Totals(1m) = %d, want 15", count)
+	}
+	if got := w.Rate(base, time.Minute); got != 15.0/60 {
+		t.Fatalf("Rate = %v, want 0.25", got)
+	}
+	if got := w.BadFraction(base, 15*time.Second); got != 0.1 {
+		t.Fatalf("BadFraction = %v, want 0.1", got)
+	}
+}
+
+func TestWindowedRingEviction(t *testing.T) {
+	w := NewWindowed(time.Second, 4)
+	base := time.Unix(2000, 0)
+	w.Observe(base, time.Millisecond, false)
+	// Advance past the full retention: the old window's slot is reused.
+	later := base.Add(10 * time.Second)
+	w.Observe(later, time.Millisecond, false)
+	count, _, _ := w.Totals(later, w.Span())
+	if count != 1 {
+		t.Fatalf("Totals after wrap = %d, want 1 (old window evicted)", count)
+	}
+}
+
+func TestWindowedQuantile(t *testing.T) {
+	w := NewWindowed(15*time.Second, 8)
+	base := time.Unix(3000, 0)
+	// 99 fast observations, 1 slow one: p50 small, p99.5 large.
+	for i := 0; i < 99; i++ {
+		w.Observe(base, 2*time.Millisecond, false)
+	}
+	w.Observe(base, 900*time.Millisecond, false)
+	p50 := w.Quantile(base, time.Minute, 0.50)
+	if p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want <= 4ms", p50)
+	}
+	p999 := w.Quantile(base, time.Minute, 0.999)
+	if p999 < 500*time.Millisecond {
+		t.Fatalf("p99.9 = %v, want >= 500ms", p999)
+	}
+	if got := w.Quantile(base.Add(time.Hour), time.Minute, 0.5); got != 0 {
+		t.Fatalf("quantile over empty span = %v, want 0", got)
+	}
+}
+
+func TestWindowedAlignmentDeterminism(t *testing.T) {
+	// Two rings fed the same absolute timestamps report identical numbers:
+	// windows are aligned to absolute time, not to first observation.
+	run := func() (uint64, time.Duration) {
+		w := NewWindowed(15*time.Second, 16)
+		base := time.Unix(5000, 3)
+		for i := 0; i < 100; i++ {
+			w.Observe(base.Add(time.Duration(i)*time.Second), time.Duration(i)*time.Millisecond, i%7 == 0)
+		}
+		count, _, _ := w.Totals(base.Add(100*time.Second), 2*time.Minute)
+		return count, w.Quantile(base.Add(100*time.Second), 2*time.Minute, 0.99)
+	}
+	c1, q1 := run()
+	c2, q2 := run()
+	if c1 != c2 || q1 != q2 {
+		t.Fatalf("windowed results differ across identical runs: %d/%v vs %d/%v", c1, q1, c2, q2)
+	}
+}

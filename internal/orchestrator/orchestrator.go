@@ -22,6 +22,7 @@ import (
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/server"
 	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
 )
@@ -109,6 +110,9 @@ type Config struct {
 	// Tracer is handed to each SQL node so request traces propagated by
 	// the proxy continue through statement execution.
 	Tracer *trace.Tracer
+	// Obs is handed to each SQL node so its executor, coordinator, and
+	// DistSender report per-tenant signals to the observability plane.
+	Obs *tenantobs.Plane
 	// Faults, when non-nil, arms the orchestrator's fault-injection sites:
 	// orchestrator.start.crash kills a pod's VM during cold start (creation
 	// retries with a fresh pod), and orchestrator.pod.evict reclaims an
@@ -207,6 +211,7 @@ func (o *Orchestrator) createPod() (*Pod, error) {
 			RevivalSecret: o.cfg.RevivalSecret,
 			Colocated:     o.cfg.Colocated,
 			Tracer:        o.cfg.Tracer,
+			Obs:           o.cfg.Obs,
 		})
 		pod := &Pod{Node: node, state: PodWarm}
 		o.podsCreated.Inc(1)

@@ -16,6 +16,7 @@ import (
 
 	"crdbserverless/internal/faultinject"
 	"crdbserverless/internal/metric"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
 	"crdbserverless/internal/wire"
@@ -59,6 +60,9 @@ type Config struct {
 	// forcing the session to re-route to a healthy SQL node while the
 	// client's connection survives.
 	Faults *faultinject.Registry
+	// Obs, when non-nil, receives per-tenant connection counts
+	// (proxy.tenant_conns).
+	Obs *tenantobs.Plane
 }
 
 // Proxy is a running proxy server.
@@ -353,6 +357,7 @@ func (p *Proxy) handleConn(client net.Conn) {
 		p.releaseBackend(backend.Addr)
 		return
 	}
+	p.cfg.Obs.ConnOpened(tenantName)
 
 	p.mu.Lock()
 	p.mu.nextConnID++

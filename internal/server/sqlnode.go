@@ -15,6 +15,7 @@ import (
 	"crdbserverless/internal/region"
 	"crdbserverless/internal/sql"
 	"crdbserverless/internal/tenantcost"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
 	"crdbserverless/internal/txn"
@@ -42,6 +43,10 @@ type SQLNodeConfig struct {
 	// Tracer, when non-nil, continues request traces propagated by the
 	// proxy (wire.Query trace IDs) through statement execution.
 	Tracer *trace.Tracer
+	// Obs, when non-nil, is the tenant observability plane: the node's
+	// executor, coordinator, and DistSender report per-tenant signals
+	// through it.
+	Obs *tenantobs.Plane
 }
 
 // SQLNode is one tenant's SQL process. It follows the optimized cold-start
@@ -138,11 +143,12 @@ func (n *SQLNode) AssignTenant(ctx context.Context, t *core.Tenant) error {
 		n.mu.Unlock()
 		return errors.New("server: tenant already assigned")
 	}
-	ds := kvserver.NewDistSender(n.cfg.Cluster, kvserver.Identity{Tenant: t.ID})
+	ds := kvserver.NewDistSender(n.cfg.Cluster, kvserver.Identity{Tenant: t.ID}, kvserver.Config{Obs: n.cfg.Obs})
 	metered := NewMeteredSender(colocatedSender{inner: ds, colocated: n.cfg.Colocated})
 	coord := txn.NewCoordinator(metered, n.cfg.Cluster.Clock(), t.ID)
+	coord.SetObs(n.cfg.Obs)
 	catalog := sql.NewCatalog(coord, t.ID)
-	exec := sql.NewExecutor(catalog, coord, sql.ExecutorConfig{Colocated: n.cfg.Colocated})
+	exec := sql.NewExecutor(catalog, coord, sql.ExecutorConfig{Colocated: n.cfg.Colocated, Obs: n.cfg.Obs})
 	n.mu.tenant = t
 	n.mu.exec = exec
 	n.mu.metered = metered

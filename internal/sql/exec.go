@@ -6,9 +6,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/trace"
 	"crdbserverless/internal/txn"
 )
@@ -36,6 +38,10 @@ type ExecutorConfig struct {
 	// row filters on full-table-scan plans (the §8 future-work
 	// optimization). Requires sql.KVRowDecoder registered on the cluster.
 	FilterPushdown bool
+	// Obs, when non-nil, receives per-tenant statement outcomes and
+	// latencies (sql.tenant_queries, sql.tenant_exec_latency, and the
+	// tenant's SLO/window series).
+	Obs *tenantobs.Plane
 }
 
 // Executor compiles and runs SQL statements for one tenant.
@@ -103,6 +109,18 @@ func (e *Executor) chargeUnmarshal(bytes int64) {
 // ExecuteStmt runs a parsed statement. When tx is nil the statement runs in
 // its own (retried) implicit transaction; otherwise it joins tx.
 func (e *Executor) ExecuteStmt(ctx context.Context, stmt Statement, args []Datum, tx *txn.Txn) (*Result, error) {
+	var start time.Time
+	if e.cfg.Obs != nil {
+		start = e.cfg.Obs.Now()
+	}
+	res, err := e.executeStmt(ctx, stmt, args, tx)
+	if e.cfg.Obs != nil {
+		e.cfg.Obs.QueryDone(e.tenant, e.cfg.Obs.Now().Sub(start), err != nil)
+	}
+	return res, err
+}
+
+func (e *Executor) executeStmt(ctx context.Context, stmt Statement, args []Datum, tx *txn.Txn) (*Result, error) {
 	ctx, sp := trace.StartSpan(ctx, "sql.exec")
 	defer sp.Finish()
 	sp.SetAttr("sql.stmt", strings.TrimPrefix(fmt.Sprintf("%T", stmt), "*sql."))

@@ -50,6 +50,30 @@ type BucketServer struct {
 	tenants map[keys.TenantID]*serverBucket
 	// trickleInterval is how long each trickle grant lasts.
 	trickleInterval time.Duration
+	// onConsume, when set, observes every NodeBucket consumption
+	// (tenant, tokens). Invoked outside both the server's and the node
+	// bucket's locks.
+	onConsume func(keys.TenantID, float64)
+}
+
+// SetConsumptionObserver installs fn to observe every token consumption
+// attributed through any NodeBucket of this server. The deployment wires
+// this to the tenant observability plane so per-tenant RU burn shows up on
+// /debug/metrics (tenantcost.tenant_ru).
+func (s *BucketServer) SetConsumptionObserver(fn func(tenant keys.TenantID, tokens float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onConsume = fn
+}
+
+// noteConsumption relays one consumption to the observer, if any.
+func (s *BucketServer) noteConsumption(tenant keys.TenantID, tokens float64) {
+	s.mu.Lock()
+	fn := s.onConsume
+	s.mu.Unlock()
+	if fn != nil {
+		fn(tenant, tokens)
+	}
 }
 
 // NewBucketServer returns a server using the given clock.
@@ -218,6 +242,10 @@ func (nb *NodeBucket) Consume(tokens float64) time.Duration {
 	if tokens <= 0 {
 		return 0
 	}
+	// Registered before the Unlock defer below, so it runs after the lock
+	// is released: the observer (the observability plane) is called with no
+	// tenantcost locks held.
+	defer nb.server.noteConsumption(nb.tenant, tokens)
 	nb.mu.Lock()
 	defer nb.mu.Unlock()
 	now := nb.clock.Now()

@@ -19,6 +19,7 @@ import (
 	"crdbserverless/internal/keys"
 	"crdbserverless/internal/kvpb"
 	"crdbserverless/internal/kvserver"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/trace"
 )
 
@@ -36,6 +37,7 @@ type Coordinator struct {
 	clock  *hlc.Clock
 	tenant keys.TenantID
 	faults *faultinject.Registry
+	obs    *tenantobs.Plane
 }
 
 // NewCoordinator returns a Coordinator.
@@ -47,6 +49,10 @@ func NewCoordinator(sender Sender, clock *hlc.Clock, tenant keys.TenantID) *Coor
 // a transactional batch after the send returned but before the coordinator
 // processes the response).
 func (c *Coordinator) SetFaults(f *faultinject.Registry) { c.faults = f }
+
+// SetObs wires the tenant observability plane; each transaction retry is
+// then counted against the coordinator's tenant (txn.tenant_retries).
+func (c *Coordinator) SetObs(p *tenantobs.Plane) { c.obs = p }
 
 // Txn is one transaction. It is not safe for concurrent use (like a SQL
 // session, it executes one statement at a time).
@@ -303,6 +309,7 @@ func (c *Coordinator) RunTxn(ctx context.Context, fn func(context.Context, *Txn)
 			return err
 		}
 		sp.Eventf("retry attempt=%d: %v", attempt+1, err)
+		c.obs.TxnRetry(c.tenant)
 		lastErr = err
 		// Advance our clock reading past the conflict so the next attempt
 		// starts above it.
