@@ -39,10 +39,18 @@ func main() {
 		quick     = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos experiment; same seed reproduces the run")
 		kvMin     = flag.Float64("kvbench-min-speedup", 0, "fail kvbench if group_commit_speedup falls below this (0 disables the gate)")
+		kvZipf    = flag.Float64("kvbench-min-zipf-speedup", 0, "fail kvbench if zipf_read_p99_speedup falls below this (0 disables the gate)")
+		kvBlock   = flag.Float64("kvbench-min-block-hit", 0, "fail kvbench if block_cache_hit_ratio falls below this (0 disables the gate)")
+		kvReclaim = flag.Float64("kvbench-min-vlog-reclaim", 0, "fail kvbench if vlog_reclaim_fraction falls below this (0 disables the gate)")
 	)
 	flag.Parse()
 
-	exps := buildExperiments(*quick, *chaosSeed, *kvMin)
+	exps := buildExperiments(*quick, *chaosSeed, kvGates{
+		minSpeedup:     *kvMin,
+		minZipfSpeedup: *kvZipf,
+		minBlockHit:    *kvBlock,
+		minVlogReclaim: *kvReclaim,
+	})
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
@@ -70,7 +78,16 @@ func main() {
 	}
 }
 
-func buildExperiments(quick bool, chaosSeed int64, kvMinSpeedup float64) []experiment {
+// kvGates are the CI floor checks applied to the kvbench results; zero
+// values disable the corresponding gate.
+type kvGates struct {
+	minSpeedup     float64 // group_commit_speedup
+	minZipfSpeedup float64 // zipf_read_p99_speedup
+	minBlockHit    float64 // block_cache_hit_ratio
+	minVlogReclaim float64 // vlog_reclaim_fraction
+}
+
+func buildExperiments(quick bool, chaosSeed int64, kv kvGates) []experiment {
 	scale := func(full, small int) int {
 		if quick {
 			return small
@@ -177,9 +194,21 @@ func buildExperiments(quick bool, chaosSeed int64, kvMinSpeedup float64) []exper
 				return err
 			}
 			fmt.Println("wrote BENCH_kv.json")
-			if kvMinSpeedup > 0 && res.GroupCommitSpeedup < kvMinSpeedup {
+			if kv.minSpeedup > 0 && res.GroupCommitSpeedup < kv.minSpeedup {
 				return fmt.Errorf("group_commit_speedup %.2fx below the %.2fx gate",
-					res.GroupCommitSpeedup, kvMinSpeedup)
+					res.GroupCommitSpeedup, kv.minSpeedup)
+			}
+			if kv.minZipfSpeedup > 0 && res.ZipfP99Speedup < kv.minZipfSpeedup {
+				return fmt.Errorf("zipf_read_p99_speedup %.2fx below the %.2fx gate",
+					res.ZipfP99Speedup, kv.minZipfSpeedup)
+			}
+			if kv.minBlockHit > 0 && res.BlockCacheHitRatio < kv.minBlockHit {
+				return fmt.Errorf("block_cache_hit_ratio %.2f below the %.2f gate",
+					res.BlockCacheHitRatio, kv.minBlockHit)
+			}
+			if kv.minVlogReclaim > 0 && res.VlogReclaimFraction < kv.minVlogReclaim {
+				return fmt.Errorf("vlog_reclaim_fraction %.2f below the %.2f gate",
+					res.VlogReclaimFraction, kv.minVlogReclaim)
 			}
 			return nil
 		}},

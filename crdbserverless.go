@@ -184,12 +184,21 @@ func New(opts Options) (*Serverless, error) {
 	for _, r := range opts.Regions {
 		for i := 0; i < opts.KVNodesPerRegion; i++ {
 			nodes = append(nodes, kvserver.NewNode(kvserver.NodeConfig{
-				ID:               id,
-				VCPUs:            opts.KVNodeVCPUs,
-				Region:           string(r),
-				Clock:            opts.Clock,
-				Cost:             cost,
-				LSM:              lsm.Options{Tracer: s.tracer, ReadMetrics: lsmReadMetrics, WriteMetrics: lsmWriteMetrics},
+				ID:     id,
+				VCPUs:  opts.KVNodeVCPUs,
+				Region: string(r),
+				Clock:  opts.Clock,
+				Cost:   cost,
+				LSM: lsm.Options{
+					Tracer:       s.tracer,
+					ReadMetrics:  lsmReadMetrics,
+					WriteMetrics: lsmWriteMetrics,
+					// Storage acceleration (value separation defaults on):
+					// enough block cache to hold each node's hot L1+ blocks
+					// and a hot-key cache sized for skewed tenant points.
+					BlockCacheBytes: 8 << 20,
+					HotKeyCacheSize: 4096,
+				},
 				AdmissionEnabled: opts.AdmissionControl,
 				Obs:              s.obs,
 			}))

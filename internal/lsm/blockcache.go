@@ -1,0 +1,143 @@
+package lsm
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// blockCache caches decoded sstable blocks for L1+ point reads, keyed by
+// (tableID, blockIdx). It is sharded to keep reader contention low,
+// byte-capacity bounded, and its eviction order is deterministic (strict LRU
+// per shard, with the shard chosen by an FNV hash of the key — no
+// randomness, no clocks). Fills and evictions run on the read path after the
+// engine lock is released; the only cache call made under e.mu is
+// invalidateTable, a plain map sweep, when compaction retires a table.
+//
+// Iterators bypass the cache entirely: a scan decodes each overlapping block
+// once and would otherwise flush the point-read working set.
+type blockCache struct {
+	shards []blockCacheShard
+}
+
+const blockCacheShards = 8
+
+type blockKey struct {
+	tableID  uint64
+	blockIdx int
+}
+
+type blockCacheEntry struct {
+	key     blockKey
+	entries []Entry
+	bytes   int64
+}
+
+type blockCacheShard struct {
+	mu    sync.Mutex
+	capB  int64
+	curB  int64
+	lru   *list.List // front = most recently used
+	items map[blockKey]*list.Element
+}
+
+func newBlockCache(capacityBytes int64) *blockCache {
+	c := &blockCache{shards: make([]blockCacheShard, blockCacheShards)}
+	per := capacityBytes / blockCacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].capB = per
+		c.shards[i].lru = list.New()
+		c.shards[i].items = map[blockKey]*list.Element{}
+	}
+	return c
+}
+
+func (c *blockCache) shard(k blockKey) *blockCacheShard {
+	h := fnv.New32a()
+	var b [12]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(k.tableID >> (8 * i))
+	}
+	for i := 0; i < 4; i++ {
+		b[8+i] = byte(uint32(k.blockIdx) >> (8 * i))
+	}
+	h.Write(b[:])
+	return &c.shards[h.Sum32()%blockCacheShards]
+}
+
+// get returns the decoded block, if cached. The returned slice is shared and
+// must be treated as immutable (sstable blocks are).
+func (c *blockCache) get(tableID uint64, blockIdx int) ([]Entry, bool) {
+	k := blockKey{tableID, blockIdx}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*blockCacheEntry).entries, true
+}
+
+// addBlock inserts a decoded block, evicting least-recently-used blocks
+// until the shard fits its byte budget. It must never be called while the
+// engine mutex is held (crdb-lint lockscope enforces this).
+func (c *blockCache) addBlock(tableID uint64, blockIdx int, entries []Entry, bytes int64) {
+	k := blockKey{tableID, blockIdx}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bytes > s.capB {
+		return // a block bigger than the shard would evict everything for nothing
+	}
+	if el, ok := s.items[k]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	ent := &blockCacheEntry{key: k, entries: entries, bytes: bytes}
+	s.items[k] = s.lru.PushFront(ent)
+	s.curB += bytes
+	for s.curB > s.capB {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*blockCacheEntry)
+		s.lru.Remove(back)
+		delete(s.items, victim.key)
+		s.curB -= victim.bytes
+	}
+}
+
+// invalidateTable drops every cached block of a retired table. Safe (and
+// cheap — a map sweep per shard) to call under the engine lock.
+func (c *blockCache) invalidateTable(tableID uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.items {
+			if k.tableID == tableID {
+				s.curB -= el.Value.(*blockCacheEntry).bytes
+				s.lru.Remove(el)
+				delete(s.items, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// len reports the number of cached blocks (test hook).
+func (c *blockCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}

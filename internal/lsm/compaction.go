@@ -27,9 +27,13 @@ func (e *Engine) maybeCompact() {
 	defer e.compactMu.Unlock()
 	for i := 0; i < 64; i++ { // bound runaway loops defensively
 		if !e.compactOnce() {
-			return
+			break
 		}
 	}
+	// Compaction rounds just reported discard stats; collect any value-log
+	// file they pushed past the threshold while still holding the
+	// single-flight guard (GC rewrites never race a compaction merge).
+	e.runVlogGC()
 }
 
 // compactionPlan is the under-lock half of a compaction: the inputs picked
@@ -77,17 +81,45 @@ func (e *Engine) compactOnce() bool {
 	if e.opts.DisableWritePipelining {
 		// Baseline: merge and install inside the critical section, stalling
 		// every reader and writer for the duration (the seed behavior).
-		out, next := e.runMerge(plan)
-		e.installCompactionLocked(plan, out, next)
+		out, next, discards := e.runMerge(plan)
+		installed := e.installCompactionLocked(plan, out, next)
 		e.mu.Unlock()
+		e.finishCompaction(plan, installed, discards)
 		return true
 	}
 	e.mu.Unlock()
-	out, next := e.runMerge(plan)
+	out, next, discards := e.runMerge(plan)
 	e.mu.Lock()
-	e.installCompactionLocked(plan, out, next)
+	installed := e.installCompactionLocked(plan, out, next)
 	e.mu.Unlock()
+	e.finishCompaction(plan, installed, discards)
 	return true
+}
+
+// finishCompaction applies a round's deferred side effects outside the engine
+// lock: value-log discard stats for every entry the merge dropped, and
+// block-cache invalidation for the retired input tables. Both wait for a
+// successful install — an abandoned round changed nothing. (A reader racing
+// the invalidation may re-fill a retired table's block from its old snapshot;
+// table ids are never reused, so the stale fill is correct data that only
+// occupies cache space until LRU evicts it.)
+func (e *Engine) finishCompaction(plan *compactionPlan, installed bool, discards []valuePointer) {
+	if !installed {
+		return
+	}
+	if e.vlog != nil {
+		for _, p := range discards {
+			e.vlog.discard(p)
+		}
+	}
+	if e.blockCache != nil {
+		for _, t := range plan.inputs {
+			e.blockCache.invalidateTable(t.id)
+		}
+		for _, t := range plan.overlapping {
+			e.blockCache.invalidateTable(t.id)
+		}
+	}
 }
 
 // pickCompactionLocked chooses the level to compact, or -1 for none.
@@ -125,7 +157,7 @@ func (e *Engine) planCompactionLocked(lvl int) *compactionPlan {
 	// Compute the key range covered by the input tables.
 	var lo, hi []byte
 	for _, t := range from {
-		if len(t.entries) == 0 {
+		if t.numEntries == 0 {
 			continue
 		}
 		if lo == nil || bytes.Compare(t.minKey, lo) < 0 {
@@ -166,7 +198,7 @@ func (e *Engine) planCompactionLocked(lvl int) *compactionPlan {
 // next-level layout. In pipelined mode it runs outside the engine lock; the
 // e.mergesActive counter is the test hook that asserts reads stay live
 // while it does.
-func (e *Engine) runMerge(plan *compactionPlan) (*ssTable, []*ssTable) {
+func (e *Engine) runMerge(plan *compactionPlan) (*ssTable, []*ssTable, []valuePointer) {
 	e.mergesActive.Add(1)
 	defer e.mergesActive.Add(-1)
 	sp := e.opts.Tracer.StartRoot("lsm.compact")
@@ -179,19 +211,31 @@ func (e *Engine) runMerge(plan *compactionPlan) (*ssTable, []*ssTable) {
 	// are newer than the lower level.
 	runs := make([][]Entry, 0, len(plan.inputs)+len(plan.overlapping))
 	for _, t := range plan.inputs {
-		runs = append(runs, t.entries)
+		runs = append(runs, t.entries())
 	}
 	for _, t := range plan.overlapping {
-		runs = append(runs, t.entries)
+		runs = append(runs, t.entries())
 	}
-	merged := mergeRuns(runs, plan.bottommost)
+	// Entries the merge drops — shadowed versions and bottommost tombstones —
+	// retire their value-log records; collect the pointers for discard
+	// reporting after the install commits the drop.
+	var discards []valuePointer
+	onDrop := func(ent Entry) {
+		if !ent.vptr {
+			return
+		}
+		if p, err := decodeValuePointer(ent.Value); err == nil {
+			discards = append(discards, p)
+		}
+	}
+	merged := mergeRuns(runs, plan.bottommost, onDrop)
 	out := newSSTable(plan.outID, merged)
 	next := append(append([]*ssTable(nil), plan.keep...), out)
 	sort.Slice(next, func(i, j int) bool {
 		return bytes.Compare(next[i].minKey, next[j].minKey) < 0
 	})
 	sp.SetAttr("lsm.output_bytes", out.sizeB)
-	return out, next
+	return out, next, discards
 }
 
 // installCompactionLocked swaps a finished merge into the level layout. The
@@ -201,9 +245,9 @@ func (e *Engine) runMerge(plan *compactionPlan) (*ssTable, []*ssTable) {
 // inputs entirely — in that case the output is discarded and the round
 // abandoned (the invariant re-check in maybeCompact's loop redoes the work
 // against current state).
-func (e *Engine) installCompactionLocked(plan *compactionPlan, out *ssTable, next []*ssTable) {
+func (e *Engine) installCompactionLocked(plan *compactionPlan, out *ssTable, next []*ssTable) bool {
 	if e.mu.closed || !e.planInputsCurrentLocked(plan) {
-		return
+		return false
 	}
 	// Keep the tables of the from-level that arrived after the plan was
 	// taken (flushes prepend to L0 while the merge runs); drop exactly the
@@ -222,6 +266,7 @@ func (e *Engine) installCompactionLocked(plan *compactionPlan, out *ssTable, nex
 	e.mu.levels[plan.lvl+1] = next
 	e.mu.metrics.CompactedBytes += out.sizeB
 	e.mu.metrics.CompactionCount++
+	return true
 }
 
 // planInputsCurrentLocked reports whether every planned input (from-level
@@ -270,15 +315,20 @@ func (e *Engine) Compact() {
 			continue
 		}
 		if e.opts.DisableWritePipelining {
-			out, next := e.runMerge(plan)
-			e.installCompactionLocked(plan, out, next)
+			out, next, discards := e.runMerge(plan)
+			installed := e.installCompactionLocked(plan, out, next)
 			e.mu.Unlock()
+			e.finishCompaction(plan, installed, discards)
 			continue
 		}
 		e.mu.Unlock()
-		out, next := e.runMerge(plan)
+		out, next, discards := e.runMerge(plan)
 		e.mu.Lock()
-		e.installCompactionLocked(plan, out, next)
+		installed := e.installCompactionLocked(plan, out, next)
 		e.mu.Unlock()
+		e.finishCompaction(plan, installed, discards)
 	}
+	// The full compaction concentrated discard stats; reclaim eligible
+	// value-log files before returning (still under the single-flight guard).
+	e.runVlogGC()
 }

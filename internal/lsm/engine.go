@@ -1,7 +1,6 @@
 package lsm
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -57,10 +56,31 @@ type Options struct {
 	// Faults, when non-nil, arms the engine's fault-injection sites:
 	// lsm.write.stall delays a write before it takes the engine lock,
 	// lsm.flush.error fails a memtable rotation (the memtable stays and is
-	// retried at the next threshold crossing), and lsm.compact.error skips a
-	// compaction round. The flush and compaction sites are consulted under
-	// the engine lock, so configure them without a Delay.
+	// retried at the next threshold crossing), lsm.compact.error skips a
+	// compaction round, lsm.vlog.write.error fails a value-log append (the
+	// value is stored inline instead — a transparent degradation), and
+	// lsm.vlog.gc.error aborts a value-log GC round mid-rewrite. The flush
+	// and compaction sites are consulted under the engine lock, so configure
+	// them without a Delay; the vlog sites are consulted outside it.
 	Faults *faultinject.Registry
+	// DisableValueSeparation keeps every value inline in the sstables (the
+	// seed behavior). By default values of ValueThreshold bytes or more are
+	// stored in the append-only value log, with a (fileID, offset, len)
+	// pointer in their place; see vlog.go.
+	DisableValueSeparation bool
+	// ValueThreshold is the minimum value size routed to the value log.
+	// Defaults to 1 KiB.
+	ValueThreshold int
+	// VlogFileSize is the rotation threshold for value-log segments.
+	// Defaults to 1 MiB.
+	VlogFileSize int64
+	// VlogGCDiscardRatio is the dead-byte fraction at which a value-log file
+	// becomes a GC candidate. Defaults to 0.5.
+	VlogGCDiscardRatio float64
+	// BlockCacheBytes bounds the L1+ block cache; 0 disables it.
+	BlockCacheBytes int64
+	// HotKeyCacheSize bounds the hot-key read cache (entries); 0 disables it.
+	HotKeyCacheSize int
 }
 
 func (o *Options) withDefaults() Options {
@@ -73,6 +93,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.LBaseMaxBytes == 0 {
 		out.LBaseMaxBytes = 16 << 20
+	}
+	if out.ValueThreshold == 0 {
+		out.ValueThreshold = 1 << 10
+	}
+	if out.VlogFileSize == 0 {
+		out.VlogFileSize = 1 << 20
+	}
+	if out.VlogGCDiscardRatio == 0 {
+		out.VlogGCDiscardRatio = 0.5
 	}
 	return out
 }
@@ -115,32 +144,64 @@ type Metrics struct {
 	// instead of queueing behind the single-flight guard. Drawn from the
 	// engine's WriteMetrics counter, which may be shared like ReadMetrics.
 	CompactionsCoalesced int64
+	// Cache counters (shared ReadMetrics, like Reads above): block-cache
+	// hits/misses on L1+ point reads and hot-key cache hits/misses.
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+	HotCacheHits     int64
+	HotCacheMisses   int64
+	// Value-log counters (shared WriteMetrics): separated writes, inline
+	// fallbacks from injected append failures, GC rounds/rewrites/reclaimed
+	// bytes, and scan-side resolutions dropped against deleted files.
+	VlogWrites           int64
+	VlogWriteFallbacks   int64
+	VlogGCRounds         int64
+	VlogGCRewritten      int64
+	VlogGCReclaimedBytes int64
+	VlogResolveDropped   int64
+	// Value-log occupancy for this engine (not shared): segment count and
+	// live/dead payload bytes.
+	VlogFiles     int
+	VlogLiveBytes int64
+	VlogDeadBytes int64
 }
 
 // ReadMetrics holds the read-path counters. One instance is shared by all
 // engines registered against the same metric.Registry; see
 // Options.ReadMetrics.
 type ReadMetrics struct {
-	Reads         *metric.Counter
-	BloomFiltered *metric.Counter
-	TablesProbed  *metric.Counter
+	Reads            *metric.Counter
+	BloomFiltered    *metric.Counter
+	TablesProbed     *metric.Counter
+	BlockCacheHits   *metric.Counter
+	BlockCacheMisses *metric.Counter
+	HotCacheHits     *metric.Counter
+	HotCacheMisses   *metric.Counter
 }
 
 // NewReadMetrics registers the read-path counters on reg and returns the
 // shared instance to hand to each engine's Options.
 func NewReadMetrics(reg *metric.Registry) *ReadMetrics {
 	return &ReadMetrics{
-		Reads:         reg.NewCounter("lsm.reads"),
-		BloomFiltered: reg.NewCounter("lsm.bloom.filtered"),
-		TablesProbed:  reg.NewCounter("lsm.tables.probed"),
+		Reads:            reg.NewCounter("lsm.reads"),
+		BloomFiltered:    reg.NewCounter("lsm.bloom.filtered"),
+		TablesProbed:     reg.NewCounter("lsm.tables.probed"),
+		BlockCacheHits:   reg.NewCounter("lsm.cache.block.hits"),
+		BlockCacheMisses: reg.NewCounter("lsm.cache.block.misses"),
+		HotCacheHits:     reg.NewCounter("lsm.cache.hot.hits"),
+		HotCacheMisses:   reg.NewCounter("lsm.cache.hot.misses"),
 	}
 }
 
 func newUnregisteredReadMetrics() *ReadMetrics {
 	return &ReadMetrics{
-		Reads:         &metric.Counter{},
-		BloomFiltered: &metric.Counter{},
-		TablesProbed:  &metric.Counter{},
+		Reads:            &metric.Counter{},
+		BloomFiltered:    &metric.Counter{},
+		TablesProbed:     &metric.Counter{},
+		BlockCacheHits:   &metric.Counter{},
+		BlockCacheMisses: &metric.Counter{},
+		HotCacheHits:     &metric.Counter{},
+		HotCacheMisses:   &metric.Counter{},
 	}
 }
 
@@ -151,18 +212,46 @@ type WriteMetrics struct {
 	// CompactCoalesced counts auto-compaction triggers absorbed by an
 	// already-running round (the single-flight guard).
 	CompactCoalesced *metric.Counter
+	// VlogWrites counts values separated into the value log; VlogFallbacks
+	// counts injected append failures that degraded to inline storage.
+	VlogWrites    *metric.Counter
+	VlogFallbacks *metric.Counter
+	// VlogGCRounds/VlogGCRewritten/VlogGCReclaimed instrument value-log GC:
+	// candidate rounds started, live records moved to the log head, and
+	// payload bytes of deleted files.
+	VlogGCRounds    *metric.Counter
+	VlogGCRewritten *metric.Counter
+	VlogGCReclaimed *metric.Counter
+	// VlogResolveDropped counts scan-side entries dropped because their
+	// value-log file was deleted mid-scan — provably shadowed entries (see
+	// resolveForScanLocked).
+	VlogResolveDropped *metric.Counter
 }
 
 // NewWriteMetrics registers the write-path counters on reg and returns the
 // shared instance to hand to each engine's Options.
 func NewWriteMetrics(reg *metric.Registry) *WriteMetrics {
 	return &WriteMetrics{
-		CompactCoalesced: reg.NewCounter("lsm.compact.coalesced"),
+		CompactCoalesced:   reg.NewCounter("lsm.compact.coalesced"),
+		VlogWrites:         reg.NewCounter("lsm.vlog.writes"),
+		VlogFallbacks:      reg.NewCounter("lsm.vlog.write.fallbacks"),
+		VlogGCRounds:       reg.NewCounter("lsm.vlog.gc.rounds"),
+		VlogGCRewritten:    reg.NewCounter("lsm.vlog.gc.rewritten"),
+		VlogGCReclaimed:    reg.NewCounter("lsm.vlog.gc.reclaimed_bytes"),
+		VlogResolveDropped: reg.NewCounter("lsm.vlog.resolve.dropped"),
 	}
 }
 
 func newUnregisteredWriteMetrics() *WriteMetrics {
-	return &WriteMetrics{CompactCoalesced: &metric.Counter{}}
+	return &WriteMetrics{
+		CompactCoalesced:   &metric.Counter{},
+		VlogWrites:         &metric.Counter{},
+		VlogFallbacks:      &metric.Counter{},
+		VlogGCRounds:       &metric.Counter{},
+		VlogGCRewritten:    &metric.Counter{},
+		VlogGCReclaimed:    &metric.Counter{},
+		VlogResolveDropped: &metric.Counter{},
+	}
 }
 
 // flushJob is a rotated (immutable) memtable waiting for its SSTable build
@@ -194,6 +283,18 @@ type Engine struct {
 	// engine lock — a test hook for asserting reads stay unblocked.
 	mergesActive atomic.Int32
 
+	// vlog is the value-separation log (nil when disabled). It has its own
+	// lock; the order is e.mu before vlog.mu, never the reverse.
+	vlog *valueLog
+	// blockCache caches decoded L1+ blocks (nil when off).
+	blockCache *blockCache
+	// hotCache caches resolved point-read results (nil when off).
+	hotCache *hotCache
+	// writeEpoch increments under e.mu on every ApplyBatch before its keys
+	// are invalidated in the hot cache; fills computed against an older
+	// epoch are rejected (see hotCache.addHot).
+	writeEpoch atomic.Uint64
+
 	mu struct {
 		sync.RWMutex
 		mem *memTable
@@ -221,6 +322,15 @@ func New(opts Options) *Engine {
 	if e.writeMetrics == nil {
 		e.writeMetrics = newUnregisteredWriteMetrics()
 	}
+	if !e.opts.DisableValueSeparation {
+		e.vlog = newValueLog(e.opts.VlogFileSize)
+	}
+	if e.opts.BlockCacheBytes > 0 {
+		e.blockCache = newBlockCache(e.opts.BlockCacheBytes)
+	}
+	if e.opts.HotKeyCacheSize > 0 {
+		e.hotCache = newHotCache(e.opts.HotKeyCacheSize)
+	}
 	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed))
 	e.mu.nextID = 1
 	return e
@@ -246,16 +356,46 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 	// batch before it reaches the engine lock, so stalled writers don't block
 	// readers for the stall's duration.
 	e.opts.Faults.Should("lsm.write.stall")
+	// Value separation happens before the engine lock: large values go to
+	// the value log (its own lock) and only the 12-byte pointer enters the
+	// critical section. An injected append failure degrades to inline
+	// storage — logically transparent, so replicas whose fault streams
+	// diverge still converge on reads.
+	sep := make([]Entry, len(entries))
+	for i, ent := range entries {
+		ent.Key = cloneBytes(ent.Key)
+		ent.Value = cloneBytes(ent.Value)
+		if e.vlog != nil && !ent.Tombstone && !ent.vptr && len(ent.Value) >= e.opts.ValueThreshold {
+			if err := e.opts.Faults.MaybeErr("lsm.vlog.write.error"); err != nil {
+				e.writeMetrics.VlogFallbacks.Inc(1)
+			} else {
+				ent.Value = encodeValuePointer(e.vlog.append(ent.Key, ent.Value))
+				ent.vptr = true
+				e.writeMetrics.VlogWrites.Inc(1)
+			}
+		}
+		sep[i] = ent
+	}
+	var discards []valuePointer
 	e.mu.Lock()
 	if e.mu.closed {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	for _, ent := range entries {
-		ent.Key = cloneBytes(ent.Key)
-		ent.Value = cloneBytes(ent.Value)
+	// The epoch bump precedes the invalidations, so a racing fill either
+	// sees the new epoch (and rejects itself) or lands before the
+	// invalidation (and is removed by it).
+	e.writeEpoch.Add(1)
+	for _, ent := range sep {
+		if e.hotCache != nil {
+			e.hotCache.invalidate(ent.Key)
+		}
 		e.mu.metrics.WALBytes += ent.size()
-		e.mu.mem.set(ent)
+		if old, replaced := e.mu.mem.set(ent); replaced && old.vptr {
+			if p, err := decodeValuePointer(old.Value); err == nil {
+				discards = append(discards, p)
+			}
+		}
 	}
 	e.mu.metrics.MemTableBytes = e.mu.mem.sizeB
 	var sp *trace.Span
@@ -268,6 +408,11 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 		sp, job, flushed, _ = e.flushLocked() //lint:allow faulterr a failed background flush is not a write failure; rotation retries at the next threshold crossing
 	}
 	e.mu.Unlock()
+	// Same-memtable overwrites retire their old value-log records; reported
+	// outside the lock (discard stats drive GC, nothing on the read path).
+	for _, p := range discards {
+		e.vlog.discard(p)
+	}
 	if job != nil {
 		e.buildAndInstall(sp, job)
 	}
@@ -284,54 +429,106 @@ func (e *Engine) apply(ent Entry) error {
 
 // Get returns the value for key. The boolean reports whether the key exists
 // (a tombstone reads as not found).
+//
+// The read path holds the engine lock only long enough to probe the active
+// memtable and snapshot the immutable runs (every install is copy-on-write,
+// so the snapshotted slices never mutate); the level walk, block decodes,
+// cache fills, and value-log resolution all run outside it. A pointer whose
+// value-log file was deleted by a GC that raced the unlocked window simply
+// retries from a fresh snapshot — the rewrite installed the new pointer
+// before the deletion, so the retry finds it.
 func (e *Engine) Get(key []byte) ([]byte, bool, error) {
+	e.readMetrics.Reads.Inc(1)
+	if e.hotCache != nil {
+		if v, ok, hit := e.hotCache.get(key); hit {
+			e.readMetrics.HotCacheHits.Inc(1)
+			return v, ok, nil
+		}
+		e.readMetrics.HotCacheMisses.Inc(1)
+	}
+	for attempt := 0; ; attempt++ {
+		v, ok, err := e.getOnce(key)
+		if err == errVlogFileGone && attempt < 16 {
+			continue
+		}
+		// getOnce returns an engine-owned view; the caller gets its own copy.
+		return cloneBytes(v), ok, err
+	}
+}
+
+// getOnce runs one snapshot-probe-resolve pass of the read path.
+func (e *Engine) getOnce(key []byte) ([]byte, bool, error) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	if e.mu.closed {
+		e.mu.RUnlock()
 		return nil, false, ErrClosed
 	}
-	e.readMetrics.Reads.Inc(1)
-	if ent, ok := e.mu.mem.get(key); ok {
-		return entryValue(ent)
+	epoch := e.writeEpoch.Load()
+	ent, found := e.mu.mem.get(key)
+	imm := e.mu.imm
+	levels := e.mu.levels // an array of slice headers: a cheap, stable snapshot
+	e.mu.RUnlock()
+
+	if !found {
+		ent, found = e.probeRuns(key, imm, levels)
 	}
+	var v []byte
+	ok := false
+	if found && !ent.Tombstone {
+		var err error
+		v, err = e.resolveValue(ent)
+		if err != nil {
+			return nil, false, err
+		}
+		ok = true
+	}
+	if e.hotCache != nil {
+		e.hotCache.addHot(key, v, ok, epoch, &e.writeEpoch)
+	}
+	return v, ok, nil
+}
+
+// probeRuns walks a snapshot of the immutable runs newest-first and returns
+// the first authoritative entry for key (tombstones included — the walk
+// never continues past one).
+func (e *Engine) probeRuns(key []byte, imm []*flushJob, levels [numLevels][]*ssTable) (Entry, bool) {
 	// Immutable memtables whose SSTable builds are in flight, newest-first.
 	// They hold data that has left the active memtable but not yet reached
 	// L0; skipping them would un-ack acknowledged writes.
-	for _, j := range e.mu.imm {
+	for _, j := range imm {
 		if ent, ok := j.mem.get(key); ok {
-			return entryValue(ent)
+			return ent, true
 		}
 	}
 	accel := !e.opts.DisableReadAcceleration
 	// L0: newest first. Any L0 table may overlap the key, but the bloom
-	// filter lets most of a deep backlog be skipped without a search.
-	for _, t := range e.mu.levels[0] {
+	// filter lets most of a deep backlog be skipped without a search. L0
+	// bypasses the block cache: compaction churns it too fast to earn hits.
+	for _, t := range levels[0] {
 		if accel && !t.filter.mayContain(key) {
 			e.readMetrics.BloomFiltered.Inc(1)
 			continue
 		}
 		e.readMetrics.TablesProbed.Inc(1)
-		if ent, ok := t.get(key); ok {
-			return entryValue(ent)
+		if ent, ok := t.get(key, nil); ok {
+			return ent, true
 		}
 	}
 	for lvl := 1; lvl < numLevels; lvl++ {
-		tables := e.mu.levels[lvl]
+		tables := levels[lvl]
 		if !accel {
 			for _, t := range tables {
 				e.readMetrics.TablesProbed.Inc(1)
-				if ent, ok := t.get(key); ok {
-					return entryValue(ent)
+				if ent, ok := t.getCounting(key, e.blockCache, e.readMetrics); ok {
+					return ent, true
 				}
 			}
 			continue
 		}
 		// L1+ tables are sorted and non-overlapping: binary-search the
 		// level's maxKey bounds for the one table that can contain key.
-		i := sort.Search(len(tables), func(i int) bool {
-			return bytes.Compare(tables[i].maxKey, key) >= 0
-		})
-		if i >= len(tables) || bytes.Compare(tables[i].minKey, key) > 0 {
+		i := sortSearchTables(tables, key)
+		if i < 0 {
 			continue
 		}
 		t := tables[i]
@@ -340,20 +537,27 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 			continue
 		}
 		e.readMetrics.TablesProbed.Inc(1)
-		if ent, ok := t.get(key); ok {
-			return entryValue(ent)
+		if ent, ok := t.getCounting(key, e.blockCache, e.readMetrics); ok {
+			return ent, true
 		}
 	}
-	return nil, false, nil
+	return Entry{}, false
 }
 
-// entryValue translates a found entry into Get's return convention (a
-// tombstone reads as not found).
-func entryValue(ent Entry) ([]byte, bool, error) {
-	if ent.Tombstone {
-		return nil, false, nil
+// resolveValue returns a stable engine-owned view of a non-tombstone
+// entry's value, chasing its value-log pointer if separated. Inline values
+// alias immutable memtable entries or sstable blocks; separated values
+// alias the immutable value-log buffer. Callers hand out copies, not the
+// view — the hot cache stores the view as is.
+func (e *Engine) resolveValue(ent Entry) ([]byte, error) {
+	if !ent.vptr {
+		return ent.Value, nil
 	}
-	return cloneBytes(ent.Value), true, nil
+	ptr, err := decodeValuePointer(ent.Value)
+	if err != nil {
+		return nil, err
+	}
+	return e.vlog.get(ptr)
 }
 
 // Flush moves the active memtable into a new L0 sstable. The flush is
@@ -435,21 +639,27 @@ func (e *Engine) buildAndInstall(sp *trace.Span, job *flushJob) {
 // job from the immutable queue (job is nil on the baseline path, which
 // never queued one). L0 is kept ordered newest-first by table id, so
 // out-of-order installs from concurrent builds cannot invert shadowing.
+//
+// Every slice mutation here is copy-on-write: readers snapshot the imm and
+// level slice headers under RLock and keep walking them after releasing the
+// lock, so the arrays behind a published header must never change.
 func (e *Engine) installFlushLocked(job *flushJob, t *ssTable, sp *trace.Span) {
 	if job != nil {
-		for i, j := range e.mu.imm {
-			if j == job {
-				e.mu.imm = append(e.mu.imm[:i], e.mu.imm[i+1:]...)
-				break
+		imm := make([]*flushJob, 0, len(e.mu.imm))
+		for _, j := range e.mu.imm {
+			if j != job {
+				imm = append(imm, j)
 			}
 		}
+		e.mu.imm = imm
 	}
 	pos := sort.Search(len(e.mu.levels[0]), func(i int) bool {
 		return e.mu.levels[0][i].id < t.id
 	})
-	l0 := append(e.mu.levels[0], nil)
-	copy(l0[pos+1:], l0[pos:])
-	l0[pos] = t
+	l0 := make([]*ssTable, 0, len(e.mu.levels[0])+1)
+	l0 = append(l0, e.mu.levels[0][:pos]...)
+	l0 = append(l0, t)
+	l0 = append(l0, e.mu.levels[0][pos:]...)
 	e.mu.levels[0] = l0
 	e.mu.metrics.FlushedBytes += t.sizeB
 	e.mu.metrics.FlushCount++
@@ -485,6 +695,22 @@ func (e *Engine) Metrics() Metrics {
 	m.BloomFiltered = e.readMetrics.BloomFiltered.Value()
 	m.TablesProbed = e.readMetrics.TablesProbed.Value()
 	m.CompactionsCoalesced = e.writeMetrics.CompactCoalesced.Value()
+	m.BlockCacheHits = e.readMetrics.BlockCacheHits.Value()
+	m.BlockCacheMisses = e.readMetrics.BlockCacheMisses.Value()
+	m.HotCacheHits = e.readMetrics.HotCacheHits.Value()
+	m.HotCacheMisses = e.readMetrics.HotCacheMisses.Value()
+	m.VlogWrites = e.writeMetrics.VlogWrites.Value()
+	m.VlogWriteFallbacks = e.writeMetrics.VlogFallbacks.Value()
+	m.VlogGCRounds = e.writeMetrics.VlogGCRounds.Value()
+	m.VlogGCRewritten = e.writeMetrics.VlogGCRewritten.Value()
+	m.VlogGCReclaimedBytes = e.writeMetrics.VlogGCReclaimed.Value()
+	m.VlogResolveDropped = e.writeMetrics.VlogResolveDropped.Value()
+	if e.vlog != nil {
+		vs := e.vlog.stats()
+		m.VlogFiles = vs.files
+		m.VlogLiveBytes = vs.liveBytes
+		m.VlogDeadBytes = vs.deadBytes
+	}
 	return m
 }
 

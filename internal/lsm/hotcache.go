@@ -1,0 +1,104 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// hotCache is the hot-key read cache: a bounded LRU from user key to the
+// fully resolved read result (value pointer already chased; tombstones and
+// misses cached as not-found). Under a Zipfian distribution the few hottest
+// keys serve from here without touching the memtable, levels, or value log.
+//
+// Correctness is version-tagged: every write (including tombstones and MVCC
+// intent resolution, which reach the engine as ordinary Set/Delete batches)
+// bumps the engine's write epoch and invalidates its keys under the
+// exclusive lock, and a fill is accepted only if the epoch still matches the
+// snapshot the probe was computed from. A fill that raced any write is
+// dropped — conservative (a write to an unrelated key also rejects it) but
+// race-free: a stale value can neither survive invalidation nor sneak in
+// after it.
+type hotCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type hotEntry struct {
+	key string
+	val []byte
+	ok  bool
+}
+
+func newHotCache(capacity int) *hotCache {
+	return &hotCache{cap: capacity, lru: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached result for key. The returned value is a copy.
+func (c *hotCache) get(key []byte) ([]byte, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[string(key)]
+	if !ok {
+		return nil, false, false
+	}
+	c.lru.MoveToFront(el)
+	he := el.Value.(*hotEntry)
+	return cloneBytes(he.val), he.ok, true
+}
+
+// addHot inserts a resolved read result computed while the engine was at
+// fillEpoch. If the engine's epoch has moved (any write landed since the
+// probe's snapshot), the fill is rejected: it may predate an invalidation
+// that already ran. val must be an immutable engine-owned view (a memtable
+// entry, sstable block, or value-log alias) — it is stored without a copy;
+// get clones on the way out. addHot must never be called while the engine
+// mutex is held (crdb-lint lockscope enforces this).
+func (c *hotCache) addHot(key, val []byte, ok bool, fillEpoch uint64, cur *atomic.Uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The epoch check happens under c.mu — the same lock invalidate takes —
+	// so it cannot interleave with a concurrent write's invalidation: either
+	// the fill sees the bumped epoch and rejects itself, or the invalidation
+	// runs after the insert and removes it.
+	if cur.Load() != fillEpoch {
+		return
+	}
+	k := string(key)
+	if el, exists := c.items[k]; exists {
+		he := el.Value.(*hotEntry)
+		he.val, he.ok = val, ok
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.lru.PushFront(&hotEntry{key: k, val: val, ok: ok})
+	for len(c.items) > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*hotEntry)
+		c.lru.Remove(back)
+		delete(c.items, victim.key)
+	}
+}
+
+// invalidate drops the cached result for key. Called under the engine's
+// exclusive lock on every write — a single map delete, cheap by contract.
+func (c *hotCache) invalidate(key []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[string(key)]; ok {
+		c.lru.Remove(el)
+		delete(c.items, string(key))
+	}
+}
+
+// len reports the number of cached keys (test hook).
+func (c *hotCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -3,6 +3,7 @@ package lsm
 import (
 	"bytes"
 	"container/heap"
+	"sort"
 )
 
 // Iterator merges the memtable and all levels into a single forward scan over
@@ -18,6 +19,11 @@ type Iterator struct {
 }
 
 // NewIter returns an iterator positioned before the first key >= lo.
+//
+// The whole snapshot — including value-pointer resolution — is taken under
+// the read lock, so the returned iterator never touches the engine or the
+// value log again. Scans bypass both caches: a range decode would flush the
+// point-read working set for blocks it touches once.
 func (e *Engine) NewIter(lo, hi []byte) *Iterator {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -33,7 +39,7 @@ func (e *Engine) NewIter(lo, hi []byte) *Iterator {
 		}
 		memEntries = append(memEntries, n.entry)
 	}
-	if len(memEntries) > 0 {
+	if memEntries = e.resolveForScanLocked(memEntries); len(memEntries) > 0 {
 		it.h = append(it.h, &iterCursor{entries: memEntries, prio: prio})
 	}
 	prio++
@@ -48,23 +54,43 @@ func (e *Engine) NewIter(lo, hi []byte) *Iterator {
 			}
 			immEntries = append(immEntries, n.entry)
 		}
-		if len(immEntries) > 0 {
+		if immEntries = e.resolveForScanLocked(immEntries); len(immEntries) > 0 {
 			it.h = append(it.h, &iterCursor{entries: immEntries, prio: prio})
 		}
 		prio++
 	}
 
-	// L0 newest-first, then deeper levels.
+	// L0 newest-first: any table may overlap the bounds, but the min/max
+	// pre-check skips the ones that provably don't.
 	for _, t := range e.mu.levels[0] {
-		if c := cursorFor(t, lo, hi, prio); c != nil {
-			it.h = append(it.h, c)
+		if t.overlaps(lo, hi) {
+			e.readMetrics.TablesProbed.Inc(1)
+			if ents := e.resolveForScanLocked(t.rangeEntries(lo, hi)); len(ents) > 0 {
+				it.h = append(it.h, &iterCursor{entries: ents, prio: prio})
+			}
 		}
 		prio++
 	}
+	// L1+ tables are sorted and non-overlapping: binary-search the window of
+	// tables intersecting [lo, hi) instead of probing every table (the
+	// baseline, under DisableReadAcceleration, probes them all).
+	accel := !e.opts.DisableReadAcceleration
 	for lvl := 1; lvl < numLevels; lvl++ {
-		for _, t := range e.mu.levels[lvl] {
-			if c := cursorFor(t, lo, hi, prio); c != nil {
-				it.h = append(it.h, c)
+		tables := e.mu.levels[lvl]
+		start := 0
+		if accel && lo != nil {
+			start = sort.Search(len(tables), func(i int) bool {
+				return bytes.Compare(tables[i].maxKey, lo) >= 0
+			})
+		}
+		for i := start; i < len(tables); i++ {
+			t := tables[i]
+			if accel && hi != nil && bytes.Compare(t.minKey, hi) >= 0 {
+				break
+			}
+			e.readMetrics.TablesProbed.Inc(1)
+			if ents := e.resolveForScanLocked(t.rangeEntries(lo, hi)); len(ents) > 0 {
+				it.h = append(it.h, &iterCursor{entries: ents, prio: prio})
 			}
 		}
 		prio++
@@ -74,18 +100,33 @@ func (e *Engine) NewIter(lo, hi []byte) *Iterator {
 	return it
 }
 
-func cursorFor(t *ssTable, lo, hi []byte, prio int) *iterCursor {
-	start := 0
-	if lo != nil {
-		start = t.seekIdx(lo)
+// resolveForScanLocked inlines the value-log values of a run snapshot. The
+// caller holds e.mu (read-locked). An entry whose value-log file is gone is
+// dropped, and that is provably safe: deletion happens only after every live
+// record of the file had its replacement pointer installed under the
+// exclusive lock, so if this reader observes the deletion, those installs
+// happened before its read lock — a newer version of the key sits in a
+// higher-priority run of this same snapshot and shadows the dropped entry.
+func (e *Engine) resolveForScanLocked(ents []Entry) []Entry {
+	out := ents[:0]
+	for _, ent := range ents {
+		if ent.vptr {
+			ptr, err := decodeValuePointer(ent.Value)
+			if err != nil {
+				e.writeMetrics.VlogResolveDropped.Inc(1)
+				continue
+			}
+			v, err := e.vlog.get(ptr)
+			if err != nil {
+				e.writeMetrics.VlogResolveDropped.Inc(1)
+				continue
+			}
+			ent.Value = v
+			ent.vptr = false
+		}
+		out = append(out, ent)
 	}
-	if start >= len(t.entries) {
-		return nil
-	}
-	if hi != nil && bytes.Compare(t.entries[start].Key, hi) >= 0 {
-		return nil
-	}
-	return &iterCursor{entries: t.entries, idx: start, prio: prio}
+	return out
 }
 
 // Valid reports whether the iterator is positioned on an entry.

@@ -428,7 +428,7 @@ func TestEngineValueIsolation(t *testing.T) {
 func TestMergeRunsPrecedence(t *testing.T) {
 	newer := []Entry{{Key: []byte("a"), Value: []byte("new")}}
 	older := []Entry{{Key: []byte("a"), Value: []byte("old")}, {Key: []byte("b"), Value: []byte("b")}}
-	out := mergeRuns([][]Entry{newer, older}, false)
+	out := mergeRuns([][]Entry{newer, older}, false, nil)
 	if len(out) != 2 || string(out[0].Value) != "new" {
 		t.Fatalf("merge precedence: %+v", out)
 	}
@@ -437,11 +437,11 @@ func TestMergeRunsPrecedence(t *testing.T) {
 func TestMergeRunsTombstoneHandling(t *testing.T) {
 	newer := []Entry{{Key: []byte("a"), Tombstone: true}}
 	older := []Entry{{Key: []byte("a"), Value: []byte("old")}}
-	kept := mergeRuns([][]Entry{newer, older}, false)
+	kept := mergeRuns([][]Entry{newer, older}, false, nil)
 	if len(kept) != 1 || !kept[0].Tombstone {
 		t.Fatalf("tombstone should be kept when not bottommost: %+v", kept)
 	}
-	dropped := mergeRuns([][]Entry{newer, older}, true)
+	dropped := mergeRuns([][]Entry{newer, older}, true, nil)
 	if len(dropped) != 0 {
 		t.Fatalf("tombstone should be dropped at bottom: %+v", dropped)
 	}

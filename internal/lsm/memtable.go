@@ -45,8 +45,9 @@ func (m *memTable) randomLevel() int {
 	return lvl
 }
 
-// set inserts or overwrites the entry for key.
-func (m *memTable) set(e Entry) {
+// set inserts or overwrites the entry for key. On overwrite it returns the
+// replaced entry, so the caller can report a discarded value-log pointer.
+func (m *memTable) set(e Entry) (Entry, bool) {
 	var update [maxSkipLevel]*skipNode
 	x := m.head
 	for i := m.level - 1; i >= 0; i-- {
@@ -56,9 +57,10 @@ func (m *memTable) set(e Entry) {
 		update[i] = x
 	}
 	if n := x.next[0]; n != nil && bytes.Equal(n.key, e.Key) {
-		m.sizeB += int64(len(e.Value) - len(n.entry.Value))
+		old := n.entry
+		m.sizeB += int64(len(e.Value) - len(old.Value))
 		n.entry = e
-		return
+		return old, true
 	}
 	lvl := m.randomLevel()
 	if lvl > m.level {
@@ -80,6 +82,7 @@ func (m *memTable) set(e Entry) {
 	if m.maxKey == nil || bytes.Compare(e.Key, m.maxKey) > 0 {
 		m.maxKey = e.Key
 	}
+	return Entry{}, false
 }
 
 // get returns the entry for key, if present.

@@ -129,7 +129,7 @@ func TestCompactionMergeWindowAllowsProgress(t *testing.T) {
 	}
 
 	// Phases 2+3: merge outside the lock, install under it.
-	out, next := e.runMerge(plan)
+	out, next, _ := e.runMerge(plan)
 	e.mu.Lock()
 	e.installCompactionLocked(plan, out, next)
 	e.mu.Unlock()
@@ -173,7 +173,7 @@ func TestCompactionInstallAbandonedWhenInputsGone(t *testing.T) {
 	e.Compact()
 	before := e.Metrics()
 
-	out, next := e.runMerge(stale)
+	out, next, _ := e.runMerge(stale)
 	e.mu.Lock()
 	e.installCompactionLocked(stale, out, next)
 	e.mu.Unlock()

@@ -422,3 +422,57 @@ func TestMVCCPropertySnapshotIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Intent resolution reaches the engine as ordinary Delete+Set batches, so a
+// hot-key-cached engine must invalidate the resolved keys: a raw read cached
+// before resolution cannot be served stale afterwards, and the committed
+// version must be immediately visible at the MVCC level.
+func TestResolveIntentInvalidatesHotCache(t *testing.T) {
+	e := lsm.New(lsm.Options{HotKeyCacheSize: 64, ValueThreshold: 16})
+	defer e.Close()
+	k := keys.Key("acct")
+	val := bytes.Repeat([]byte("x"), 32) // above the separation threshold
+
+	if err := Put(e, k, ts(5), 77, val); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the hot cache on the intent's raw storage key.
+	raw := EncodeKey(k, ts(5))
+	for i := 0; i < 2; i++ {
+		if v, ok, err := e.Get(raw); err != nil || !ok || len(v) == 0 {
+			t.Fatalf("raw intent read %d = ok=%v err=%v", i, ok, err)
+		}
+	}
+	if e.Metrics().HotCacheHits == 0 {
+		t.Fatal("repeat raw read did not hit the hot cache")
+	}
+
+	if err := ResolveIntent(e, k, 77, true, ts(9)); err != nil {
+		t.Fatal(err)
+	}
+	// The provisional version was deleted; a stale cache would still serve it.
+	if _, ok, err := e.Get(raw); err != nil || ok {
+		t.Fatalf("resolved intent's raw key still visible: ok=%v err=%v (stale cache?)", ok, err)
+	}
+	// The committed version is visible at and after the commit timestamp.
+	if v, ok, err := Get(e, k, ts(10), 0); err != nil || !ok || !bytes.Equal(v, val) {
+		t.Fatalf("committed read = %d bytes ok=%v err=%v", len(v), ok, err)
+	}
+
+	// Abort path: the intent vanishes and cached raw reads cannot resurrect it.
+	if err := Put(e, k, ts(12), 88, []byte("provisional")); err != nil {
+		t.Fatal(err)
+	}
+	rawAbort := EncodeKey(k, ts(12))
+	e.Get(rawAbort)
+	e.Get(rawAbort) // cached
+	if err := ResolveIntent(e, k, 88, false, hlc.Timestamp{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := e.Get(rawAbort); ok {
+		t.Fatal("aborted intent's raw key still visible (stale cache?)")
+	}
+	if v, ok, err := Get(e, k, ts(20), 0); err != nil || !ok || !bytes.Equal(v, val) {
+		t.Fatalf("read after abort = %d bytes ok=%v err=%v", len(v), ok, err)
+	}
+}
