@@ -34,14 +34,15 @@ type experiment struct {
 
 func main() {
 	var (
-		which     = flag.String("experiment", "all", "experiment id or 'all'")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		quick     = flag.Bool("quick", false, "smaller sizes for a fast pass")
-		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the chaos experiment; same seed reproduces the run")
-		kvMin     = flag.Float64("kvbench-min-speedup", 0, "fail kvbench if group_commit_speedup falls below this (0 disables the gate)")
-		kvZipf    = flag.Float64("kvbench-min-zipf-speedup", 0, "fail kvbench if zipf_read_p99_speedup falls below this (0 disables the gate)")
-		kvBlock   = flag.Float64("kvbench-min-block-hit", 0, "fail kvbench if block_cache_hit_ratio falls below this (0 disables the gate)")
-		kvReclaim = flag.Float64("kvbench-min-vlog-reclaim", 0, "fail kvbench if vlog_reclaim_fraction falls below this (0 disables the gate)")
+		which      = flag.String("experiment", "all", "experiment id or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		quick      = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the chaos experiment; same seed reproduces the run")
+		kvMin      = flag.Float64("kvbench-min-speedup", 0, "fail kvbench if group_commit_speedup falls below this (0 disables the gate)")
+		kvZipf     = flag.Float64("kvbench-min-zipf-speedup", 0, "fail kvbench if zipf_read_p99_speedup falls below this (0 disables the gate)")
+		kvBlock    = flag.Float64("kvbench-min-block-hit", 0, "fail kvbench if block_cache_hit_ratio falls below this (0 disables the gate)")
+		kvReclaim  = flag.Float64("kvbench-min-vlog-reclaim", 0, "fail kvbench if vlog_reclaim_fraction falls below this (0 disables the gate)")
+		kvRecovery = flag.Float64("kvbench-max-recovery-ms", 0, "fail kvbench if recovery_ms exceeds this ceiling (0 disables the gate)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		minZipfSpeedup: *kvZipf,
 		minBlockHit:    *kvBlock,
 		minVlogReclaim: *kvReclaim,
+		maxRecoveryMS:  *kvRecovery,
 	})
 	if *list {
 		for _, e := range exps {
@@ -85,6 +87,7 @@ type kvGates struct {
 	minZipfSpeedup float64 // zipf_read_p99_speedup
 	minBlockHit    float64 // block_cache_hit_ratio
 	minVlogReclaim float64 // vlog_reclaim_fraction
+	maxRecoveryMS  float64 // recovery_ms ceiling (the others are floors)
 }
 
 func buildExperiments(quick bool, chaosSeed int64, kv kvGates) []experiment {
@@ -209,6 +212,10 @@ func buildExperiments(quick bool, chaosSeed int64, kv kvGates) []experiment {
 			if kv.minVlogReclaim > 0 && res.VlogReclaimFraction < kv.minVlogReclaim {
 				return fmt.Errorf("vlog_reclaim_fraction %.2f below the %.2f gate",
 					res.VlogReclaimFraction, kv.minVlogReclaim)
+			}
+			if kv.maxRecoveryMS > 0 && res.RecoveryMillis > kv.maxRecoveryMS {
+				return fmt.Errorf("recovery_ms %.1f above the %.1f ceiling",
+					res.RecoveryMillis, kv.maxRecoveryMS)
 			}
 			return nil
 		}},

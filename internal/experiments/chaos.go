@@ -56,7 +56,14 @@ type ChaosResult struct {
 	Unavailable int
 	Splits      int
 	Flaps       int
-	TotalFires  int
+	// Crashes counts store.crash events: a node's store killed mid-storm
+	// (losing its unsynced WAL tail), recovered from durable state, and
+	// reconciled with its replication groups.
+	Crashes int
+	// RaftSnapshots counts replicas caught up via state snapshot — crashed
+	// stores that fell behind the truncated raft log.
+	RaftSnapshots int64
+	TotalFires    int
 	// Violations lists every invariant breach found after quiescence (and
 	// any mid-run read that disagreed with the model). Empty means the run
 	// was consistent.
@@ -96,6 +103,10 @@ var chaosSiteConfigs = []struct {
 	// the schedule.
 	{"chaos.flap", faultinject.Site{Probability: 0.02}},
 	{"chaos.split", faultinject.Site{Probability: 0.005}},
+	// Kill a store mid-storm: cordon the node, tear its directory at the
+	// fault-injected offset (unsynced WAL suffix lost), reopen from durable
+	// state, and regress its replication groups to what storage retained.
+	{"store.crash", faultinject.Site{Probability: 0.003}},
 }
 
 const chaosTenant = keys.TenantID(2)
@@ -142,7 +153,9 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 			// fault sites — on the hot path of a short run, and aggressive
 			// value separation with tiny log segments plus both caches puts
 			// the vlog GC and invalidation machinery in the storm's blast
-			// radius too.
+			// radius too. Every store is durable with a grouped-sync WAL:
+			// store.crash tears the unsynced suffix and recovers from the
+			// rest, so crash recovery itself is inside the blast radius.
 			LSM: lsm.Options{
 				MemTableSize:    8 << 10,
 				Faults:          reg,
@@ -150,6 +163,9 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 				VlogFileSize:    4 << 10,
 				BlockCacheBytes: 32 << 10,
 				HotKeyCacheSize: 64,
+				Durable:         lsm.NewDir(),
+				WALSegmentSize:  4 << 10,
+				WALBytesPerSync: 512,
 			},
 		}))
 	}
@@ -160,6 +176,9 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 		// would tie control flow to wall-clock speed. All lease churn comes
 		// from injected expirations and liveness flaps.
 		LeaseDuration: time.Hour,
+		// A short raft log forces a crashed store that missed more than a
+		// handful of commits to rejoin via state snapshot, not log replay.
+		RaftLogRetention: 8,
 	}, nodes)
 	if err != nil {
 		return nil, err
@@ -185,13 +204,18 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 	var cordoned kvserver.NodeID
 	flapRemaining := 0
 	nextFlap := 0
+	var crashed kvserver.NodeID
+	crashRemaining := 0
+	nextCrash := 0
 
 	for op := 0; op < opts.Ops; op++ {
 		if op%16 == 0 {
 			cluster.Tick()
 		}
 		// Harness events first, so their schedule position is op-aligned.
-		if reg.Should("chaos.flap") && cordoned == 0 {
+		// Flaps and crashes each cordon a node; at most one of each is in
+		// flight, and they never overlap (two dead nodes could cost quorum).
+		if reg.Should("chaos.flap") && cordoned == 0 && crashed == 0 {
 			cordoned = kvserver.NodeID(nextFlap%opts.Nodes) + 1
 			nextFlap++
 			flapRemaining = 25
@@ -207,6 +231,38 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 				}
 				fmt.Fprintf(&tr, "op=%d flap uncordon node=%d\n", op, cordoned)
 				cordoned = 0
+			}
+		}
+		// A store crash kills the node's engine mid-storm: the directory
+		// loses its unsynced suffix (up to tear bytes of torn WAL tail), the
+		// engine reopens from durable state, and the replication groups
+		// regress the replica to its durably applied indexes. The node stays
+		// cordoned for a stretch so it genuinely falls behind — with the
+		// short log retention, far enough to need a snapshot.
+		if reg.Should("store.crash") && crashed == 0 && cordoned == 0 {
+			crashed = kvserver.NodeID(nextCrash%opts.Nodes) + 1
+			nextCrash++
+			crashRemaining = 25
+			tear := rng.Intn(64)
+			if n, ok := cluster.Node(crashed); ok {
+				n.SetCordoned(true)
+				if err := n.Crash(tear); err != nil {
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("op %d: store crash on node %d failed: %v", op, crashed, err))
+				} else if err := cluster.RecoverNode(crashed); err != nil {
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("op %d: recovering node %d failed: %v", op, crashed, err))
+				}
+			}
+			res.Crashes++
+			fmt.Fprintf(&tr, "op=%d crash node=%d tear=%d\n", op, crashed, tear)
+		} else if crashRemaining > 0 {
+			if crashRemaining--; crashRemaining == 0 {
+				if n, ok := cluster.Node(crashed); ok {
+					n.SetCordoned(false)
+				}
+				fmt.Fprintf(&tr, "op=%d crash rejoin node=%d\n", op, crashed)
+				crashed = 0
 			}
 		}
 		if reg.Should("chaos.split") {
@@ -233,6 +289,11 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 			n.SetCordoned(false)
 		}
 	}
+	if crashed != 0 {
+		if n, ok := cluster.Node(crashed); ok {
+			n.SetCordoned(false)
+		}
+	}
 	for _, s := range chaosSiteConfigs {
 		res.TotalFires += reg.Fires(s.name)
 	}
@@ -248,6 +309,7 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 
 	chaosCheckInvariants(ctx, cluster, coord, buckets, bucket, model, res)
 
+	res.RaftSnapshots = cluster.RaftSnapshots()
 	res.Schedule = reg.Schedule()
 	res.Trace = tr.String()
 	res.Table = chaosTable(res, siteFires)
@@ -502,6 +564,8 @@ func chaosTable(res *ChaosResult, siteFires map[string]int) *Table {
 	add("unavailable ops", res.Unavailable)
 	add("splits", res.Splits)
 	add("liveness flaps", res.Flaps)
+	add("store crashes", res.Crashes)
+	add("raft snapshots", res.RaftSnapshots)
 	add("fault fires (total)", res.TotalFires)
 	for _, s := range chaosSiteConfigs {
 		add("  "+s.name, siteFires[s.name])

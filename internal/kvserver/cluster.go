@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crdbserverless/internal/faultinject"
@@ -59,6 +60,12 @@ type ClusterConfig struct {
 	// CommitMetrics, when non-nil, is shared by every range's replication
 	// group (raft.commit.batch_size and friends).
 	CommitMetrics *raftlite.CommitMetrics
+	// RaftLogRetention is the number of committed entries each range's
+	// replication group keeps behind the slowest live replica. 0 (the
+	// default) never truncates; with a positive value a replica that falls
+	// behind the truncation point — a store revived after a crash — rejoins
+	// via state snapshot instead of log replay.
+	RaftLogRetention uint64
 }
 
 // rangeState is one range: descriptor, replication group, and stats.
@@ -69,6 +76,11 @@ type rangeState struct {
 	latch sync.Mutex
 	desc  *RangeDescriptor
 	group *raftlite.Group
+	// descAtomic mirrors desc for readers that run under the replication
+	// group's lock (snapshot generation and application): they must not take
+	// the cluster lock — splitLocked holds it while calling into the group —
+	// so they read the descriptor through this pointer instead.
+	descAtomic atomic.Pointer[RangeDescriptor]
 	// tsc is the range's timestamp cache (lost-update protection).
 	tsc *tsCache
 
@@ -76,16 +88,28 @@ type rangeState struct {
 	writtenBytes int64
 }
 
-// engineSM adapts a node's engine to the raftlite.StateMachine interface.
-type engineSM struct{ n *Node }
+// engineSM adapts a node's engine to the raftlite.SnapshotStateMachine
+// interface for one (range, node) replica.
+type engineSM struct {
+	n  *Node
+	rs *rangeState
+}
 
-// Apply implements raftlite.StateMachine.
-func (sm engineSM) Apply(_ uint64, cmd []byte) error {
+// Apply implements raftlite.StateMachine. After the command's mutations it
+// persists the applied index under the range's raw applied key, so a store
+// recovering from a crash can tell the replication group how far its durable
+// state actually reached (Cluster.RecoverNode).
+func (sm engineSM) Apply(index uint64, cmd []byte) error {
 	c, err := decodeCommand(cmd)
 	if err != nil {
 		return err
 	}
-	return applyMutations(sm.n.engine, c)
+	e := sm.n.Engine()
+	if err := applyMutations(e, c); err != nil {
+		return err
+	}
+	desc := sm.rs.descAtomic.Load()
+	return e.Set(appliedKey(desc.RangeID), keys.EncodeUint64(nil, index))
 }
 
 // Cluster is a set of KV nodes hosting the partitioned, replicated keyspace.
@@ -242,13 +266,24 @@ func (c *Cluster) createRangeLocked(span keys.Span, replicas []NodeID) (*rangeSt
 func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*rangeState, error) {
 	id := c.mu.nextRangeID
 	c.mu.nextRangeID++
+	// The range state exists before its group: each replica's state machine
+	// reads the descriptor (and writes the applied key) through it.
+	rs := &rangeState{
+		desc: &RangeDescriptor{
+			RangeID:  id,
+			Span:     span,
+			Replicas: append([]NodeID(nil), replicas...),
+		},
+		tsc: newTSCache(),
+	}
+	rs.descAtomic.Store(rs.desc)
 	sms := make([]raftlite.StateMachine, len(replicas))
 	for i, nid := range replicas {
 		n, ok := c.Node(nid)
 		if !ok {
 			return nil, fmt.Errorf("kvserver: unknown node %d", nid)
 		}
-		sms[i] = engineSM{n: n}
+		sms[i] = engineSM{n: n, rs: rs}
 	}
 	group, err := raftlite.NewGroup(raftlite.Config{
 		RangeID:            int64(id),
@@ -259,19 +294,12 @@ func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*range
 		DisableGroupCommit: c.cfg.DisableGroupCommit,
 		CommitOverhead:     c.cfg.CommitOverhead,
 		CommitMetrics:      c.cfg.CommitMetrics,
+		LogRetention:       c.cfg.RaftLogRetention,
 	}, replicas, sms)
 	if err != nil {
 		return nil, err
 	}
-	rs := &rangeState{
-		desc: &RangeDescriptor{
-			RangeID:  id,
-			Span:     span,
-			Replicas: append([]NodeID(nil), replicas...),
-		},
-		group: group,
-		tsc:   newTSCache(),
-	}
+	rs.group = group
 	c.mu.ranges[id] = rs
 	return rs, nil
 }
@@ -332,6 +360,19 @@ func (c *Cluster) splitLocked(rs *rangeState, key keys.Key) error {
 	if err != nil {
 		return err
 	}
+	// The right group continues the parent's history: its data already lives
+	// in every replica's engine at the parent's applied indexes. Seed it at
+	// the parent's commit so a replica that was lagging in the parent reads
+	// as lagging here too and heals via snapshot — a fresh group at commit
+	// zero would consider such a replica caught up and its right-span state
+	// would stay stale forever once the parent's log truncates.
+	applied := make(map[NodeID]uint64, len(desc.Replicas))
+	for _, nid := range desc.Replicas {
+		if a, err := rs.group.AppliedIndex(nid); err == nil {
+			applied[nid] = a
+		}
+	}
+	right.group.SeedState(rs.group.CommitIndex(), applied)
 	// Shrink the left side and commit both descriptors atomically.
 	newLeft := desc.clone()
 	newLeft.Span.EndKey = key.Clone()
@@ -341,6 +382,7 @@ func (c *Cluster) splitLocked(rs *rangeState, key keys.Key) error {
 		return err
 	}
 	rs.desc = newLeft
+	rs.descAtomic.Store(newLeft)
 	// The new right range's lease starts with the parent's leaseholder so
 	// serving continues without interruption.
 	if lh, ok := rs.group.Leaseholder(); ok {
@@ -379,7 +421,7 @@ func (c *Cluster) maybeSizeSplit(rs *rangeState, leaseholder NodeID) {
 // middleKey finds a user key roughly halfway through the span's data on the
 // given node's engine.
 func middleKey(n *Node, span keys.Span) keys.Key {
-	res, err := mvcc.Scan(n.engine, span, hlc.Timestamp{WallTime: 1<<62 - 1}, 0, 0)
+	res, err := mvcc.Scan(n.Engine(), span, hlc.Timestamp{WallTime: 1<<62 - 1}, 0, 0)
 	if err != nil || len(res.Rows) < 2 {
 		return nil
 	}
@@ -502,6 +544,17 @@ func (c *Cluster) ReplicaStatuses() []ReplicaStatus {
 	return out
 }
 
+// RaftSnapshots returns the total number of snapshot catch-ups performed
+// across every range's replication group — replicas that fell behind the
+// truncated log (crashed stores) and rejoined via state transfer.
+func (c *Cluster) RaftSnapshots() int64 {
+	var total int64
+	for _, rs := range c.rangesByID() {
+		total += rs.group.Snapshots()
+	}
+	return total
+}
+
 // CatchUpReplicas applies pending committed entries on every replica of every
 // range — the quiescence step before checking convergence, standing in for
 // the raft log replay a revived node performs.
@@ -552,7 +605,7 @@ func (c *Cluster) RunGC(keepAfter hlc.Timestamp) (int, error) {
 			if !ok {
 				continue
 			}
-			nRemoved, err := mvcc.GCOldVersions(n.engine, rs.desc.Span, keepAfter)
+			nRemoved, err := mvcc.GCOldVersions(n.Engine(), rs.desc.Span, keepAfter)
 			if err != nil {
 				rs.latch.Unlock()
 				return removed, err
@@ -593,7 +646,7 @@ func (c *Cluster) TenantStorageBytes(tenant keys.TenantID) (int64, error) {
 		if span.EndKey.Less(overlap.EndKey) {
 			overlap.EndKey = span.EndKey
 		}
-		res, err := mvcc.Scan(n.engine, overlap, readTs, 0, 0)
+		res, err := mvcc.Scan(n.Engine(), overlap, readTs, 0, 0)
 		if err != nil {
 			return 0, err
 		}
@@ -767,7 +820,7 @@ func (c *Cluster) evaluateBatch(ctx context.Context, n *Node, rs *rangeState, ba
 		if cached := rs.tsc.maxReadOther(key, txnID); !cached.Less(readTs) {
 			return &kvpb.WriteTooOldError{Key: key.Clone(), ActualTs: cached.Next()}
 		}
-		return mvcc.CheckWriteConflict(n.engine, key, readTs, txnID)
+		return mvcc.CheckWriteConflict(n.Engine(), key, readTs, txnID)
 	}
 
 	var cmd command
@@ -800,7 +853,7 @@ func (c *Cluster) evaluateBatch(ctx context.Context, n *Node, rs *rangeState, ba
 			writtenBytes += int64(len(r.Key))
 			resp.Responses = append(resp.Responses, kvpb.Response{Method: r.Method})
 		case kvpb.DeleteRange:
-			res, err := mvcc.Scan(n.engine, r.Span(), readTs, txnID, 0)
+			res, err := mvcc.Scan(n.Engine(), r.Span(), readTs, txnID, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -829,7 +882,7 @@ func (c *Cluster) evaluateBatch(ctx context.Context, n *Node, rs *rangeState, ba
 			// The leaseholder enumerates the transaction's intents in the
 			// span and replicates one point resolution per key, so every
 			// replica applies the identical mutation list.
-			iks, err := mvcc.IntentKeys(n.engine, r.Span(), r.ResolveTxnID)
+			iks, err := mvcc.IntentKeys(n.Engine(), r.Span(), r.ResolveTxnID)
 			if err != nil {
 				return nil, err
 			}
@@ -866,13 +919,13 @@ func (c *Cluster) evaluateBatch(ctx context.Context, n *Node, rs *rangeState, ba
 func evalRead(n *Node, r kvpb.Request, readTs hlc.Timestamp, txnID uint64, dec RowDecoder) (kvpb.Response, error) {
 	switch r.Method {
 	case kvpb.Get:
-		v, ok, err := mvcc.Get(n.engine, r.Key, readTs, txnID)
+		v, ok, err := mvcc.Get(n.Engine(), r.Key, readTs, txnID)
 		if err != nil {
 			return kvpb.Response{}, err
 		}
 		return kvpb.Response{Method: r.Method, Value: v, Exists: ok}, nil
 	case kvpb.Scan:
-		res, err := mvcc.Scan(n.engine, r.Span(), readTs, txnID, r.MaxKeys)
+		res, err := mvcc.Scan(n.Engine(), r.Span(), readTs, txnID, r.MaxKeys)
 		if err != nil {
 			return kvpb.Response{}, err
 		}

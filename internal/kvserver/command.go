@@ -57,15 +57,19 @@ func decodeCommand(b []byte) (command, error) {
 }
 
 // applyMutations applies a decoded command to an engine. It is the state
-// machine transition shared by every replica.
+// machine transition shared by every replica. It uses the replication-side
+// MVCC variants: conflict checking already ran during evaluation on the
+// leaseholder, and application must succeed deterministically — including
+// when a recovered store re-applies a command whose effects partially
+// survived a crash (see mvcc.ApplyPut).
 func applyMutations(e *lsm.Engine, c command) error {
 	for _, m := range c.Mutations {
 		var err error
 		switch m.Kind {
 		case mutPut:
-			err = mvcc.Put(e, m.Key, m.Ts, m.TxnID, m.Value)
+			err = mvcc.ApplyPut(e, m.Key, m.Ts, m.TxnID, m.Value)
 		case mutDelete:
-			err = mvcc.Delete(e, m.Key, m.Ts, m.TxnID)
+			err = mvcc.ApplyDelete(e, m.Key, m.Ts, m.TxnID)
 		case mutResolve:
 			err = mvcc.ResolveIntent(e, m.Key, m.TxnID, m.Commit, m.CommitTs)
 		default:

@@ -2,7 +2,10 @@ package kvserver
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crdbserverless/internal/admission"
@@ -43,9 +46,15 @@ type Node struct {
 	vcpus  int
 	region string
 	clock  timeutil.Clock
-	engine *lsm.Engine
-	ex     *executor
-	cost   CostConfig
+	// engine is swapped atomically by Crash (close, tear, reopen); all access
+	// goes through Engine(). Batches never run concurrently with a crash —
+	// the harness cordons the node first.
+	engine atomic.Pointer[lsm.Engine]
+	// lsmOpts is kept so Crash can reopen the engine over the same directory
+	// with the same configuration.
+	lsmOpts lsm.Options
+	ex      *executor
+	cost    CostConfig
 
 	cpuQ   *admission.CPUQueue
 	writeQ *admission.WriteQueue
@@ -86,13 +95,14 @@ func NewNode(cfg NodeConfig) *Node {
 		vcpus:         cfg.VCPUs,
 		region:        cfg.Region,
 		clock:         cfg.Clock,
-		engine:        lsm.New(cfg.LSM),
+		lsmOpts:       cfg.LSM,
 		cost:          cfg.Cost,
 		livenessLimit: cfg.LivenessQueueLimit,
 		// Physical write bytes ≈ 2x logical (raft log + state machine)
 		// plus per-batch framing.
 		writeModel: admission.LinearModel{A: 2, B: 64},
 	}
+	n.engine.Store(lsm.New(cfg.LSM))
 	n.ex = newExecutor(cfg.Clock, cfg.VCPUs)
 	n.cpuQ = admission.NewCPUQueue(admission.CPUQueueOptions{
 		InitialSlots: cfg.VCPUs * 2,
@@ -117,7 +127,31 @@ func (n *Node) Region() string { return n.region }
 func (n *Node) VCPUs() int { return n.vcpus }
 
 // Engine exposes the node's storage engine (replicas and tests use it).
-func (n *Node) Engine() *lsm.Engine { return n.engine }
+// After a Crash it returns the reopened engine.
+func (n *Node) Engine() *lsm.Engine { return n.engine.Load() }
+
+// Crash simulates a process crash and restart of the node's store: the
+// engine is closed, the directory loses its unsynced suffix (up to tear
+// bytes of torn tail per file), and the engine is reopened from the durable
+// state — replaying the WAL, truncating at the first torn record. The node
+// must be configured with durable storage (Options.Durable), and the caller
+// must cordon it first so no batch runs against the dying engine. After a
+// successful Crash the caller reconciles replication state with
+// Cluster.RecoverNode.
+func (n *Node) Crash(tear int) error {
+	dir := n.lsmOpts.Durable
+	if dir == nil {
+		return errors.New("kvserver: node has no durable storage to crash")
+	}
+	n.Engine().Close()
+	dir.Crash(tear)
+	e, err := lsm.Open(n.lsmOpts)
+	if err != nil {
+		return fmt.Errorf("kvserver: reopening store after crash: %w", err)
+	}
+	n.engine.Store(e)
+	return nil
+}
 
 // SetAdmissionEnabled toggles admission control at runtime (the experiment
 // harness compares configurations this way).
@@ -169,7 +203,7 @@ func (n *Node) BatchCount() int64 {
 // Close shuts down the node.
 func (n *Node) Close() {
 	n.ex.close()
-	n.engine.Close()
+	n.Engine().Close()
 }
 
 // admitCPU passes the batch through the CPU admission queue when enabled.
@@ -239,7 +273,7 @@ func (n *Node) Tick() {
 	}
 	n.mu.Unlock()
 	if due {
-		capacity := n.capEst.Update(n.engine.Metrics(), now)
+		capacity := n.capEst.Update(n.Engine().Metrics(), now)
 		n.writeQ.SetRate(capacity)
 	}
 }

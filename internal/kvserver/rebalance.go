@@ -136,7 +136,7 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 			return fmt.Errorf("kvserver: range %d has no live replica to copy from", rangeID)
 		}
 	}
-	if err := copySpanData(srcNode.engine, target.engine, rs); err != nil {
+	if err := copySpanData(srcNode.Engine(), target.Engine(), rs); err != nil {
 		return err
 	}
 
@@ -155,7 +155,7 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 		if !ok {
 			return fmt.Errorf("kvserver: unknown node %d", nid)
 		}
-		sms[i] = engineSM{n: n}
+		sms[i] = engineSM{n: n, rs: rs}
 	}
 	group, err := raftlite.NewGroup(raftlite.Config{
 		RangeID:            int64(rangeID),
@@ -165,10 +165,29 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 		DisableGroupCommit: c.cfg.DisableGroupCommit,
 		CommitOverhead:     c.cfg.CommitOverhead,
 		CommitMetrics:      c.cfg.CommitMetrics,
+		LogRetention:       c.cfg.RaftLogRetention,
 	}, newReplicas, sms)
 	if err != nil {
 		return err
 	}
+	// The rebuilt group continues the old group's history: surviving replicas
+	// keep their engine state at their old applied indexes, and the new
+	// replica holds a copy of src's engine, so it starts at src's applied
+	// index. Seeding at the old commit keeps any lagging survivor reading as
+	// lagging (it heals via snapshot) instead of as caught up.
+	applied := make(map[NodeID]uint64, len(newReplicas))
+	for _, nid := range newReplicas {
+		if nid == to {
+			continue
+		}
+		if a, err := rs.group.AppliedIndex(nid); err == nil {
+			applied[nid] = a
+		}
+	}
+	if a, err := rs.group.AppliedIndex(src); err == nil {
+		applied[to] = a
+	}
+	group.SeedState(rs.group.CommitIndex(), applied)
 	// Restore a lease: the previous holder if it survived the move,
 	// otherwise the new replica.
 	prevLH, hadLease := rs.group.Leaseholder()
@@ -185,6 +204,7 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 
 	c.mu.Lock()
 	rs.desc = newDesc
+	rs.descAtomic.Store(newDesc)
 	rs.group = group
 	err = c.dir.replace(rangeID, newDesc)
 	c.mu.Unlock()

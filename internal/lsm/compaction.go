@@ -266,6 +266,19 @@ func (e *Engine) installCompactionLocked(plan *compactionPlan, out *ssTable, nex
 	e.mu.levels[plan.lvl+1] = next
 	e.mu.metrics.CompactedBytes += out.sizeB
 	e.mu.metrics.CompactionCount++
+	if e.mu.wal != nil {
+		// Output file before the manifest adopting it; input files only
+		// after the manifest stops referencing them. A crash at any point
+		// leaves a recoverable state (orphan outputs are deleted by Open).
+		persistSSTable(e.opts.Durable, out)
+		e.writeManifestLocked()
+		for _, t := range plan.inputs {
+			e.opts.Durable.Remove(sstFileName(t.id))
+		}
+		for _, t := range plan.overlapping {
+			e.opts.Durable.Remove(sstFileName(t.id))
+		}
+	}
 	return true
 }
 

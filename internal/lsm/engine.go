@@ -81,6 +81,21 @@ type Options struct {
 	BlockCacheBytes int64
 	// HotKeyCacheSize bounds the hot-key read cache (entries); 0 disables it.
 	HotKeyCacheSize int
+	// Durable, when non-nil, makes the engine crash-survivable: every batch
+	// is framed into a WAL inside the commit critical section, flushed
+	// sstables and value-log segments are persisted into the directory, and
+	// a versioned manifest tracks the level/vlog state. Open recovers an
+	// engine from the directory's contents after a crash. nil (the default)
+	// keeps the engine volatile, the pre-durability behavior.
+	Durable *Dir
+	// WALSegmentSize is the WAL's size-based rotation threshold. Defaults to
+	// 256 KiB.
+	WALSegmentSize int64
+	// WALBytesPerSync is the fsync policy: 0 (the default) syncs after every
+	// record — no acknowledged write can be lost; > 0 groups syncs until
+	// that many bytes have accumulated, trading a torn tail on crash for
+	// fewer syncs. Recovery truncates the tail at the first torn record.
+	WALBytesPerSync int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -103,6 +118,9 @@ func (o *Options) withDefaults() Options {
 	if out.VlogGCDiscardRatio == 0 {
 		out.VlogGCDiscardRatio = 0.5
 	}
+	if out.WALSegmentSize == 0 {
+		out.WALSegmentSize = 256 << 10
+	}
 	return out
 }
 
@@ -124,8 +142,13 @@ type Metrics struct {
 	// FlushCount and CompactionCount are cumulative operation counts.
 	FlushCount      int64
 	CompactionCount int64
-	// WALBytes is the cumulative bytes appended to the write-ahead log.
+	// WALBytes is the cumulative framed bytes appended to the write-ahead
+	// log — record headers and CRCs included. Volatile engines (no
+	// Options.Durable) report the bytes the same batches would have framed,
+	// so the metric is comparable across configurations.
 	WALBytes int64
+	// WALFsyncs is the cumulative number of WAL sync operations issued.
+	WALFsyncs int64
 	// MemTableBytes is the current size of the active memtable.
 	MemTableBytes int64
 	// ReadAmplification is the number of sorted runs a read may consult:
@@ -159,6 +182,10 @@ type Metrics struct {
 	VlogGCRewritten      int64
 	VlogGCReclaimedBytes int64
 	VlogResolveDropped   int64
+	// CorruptionErrors counts reads that surfaced ErrCorruption — a value
+	// pointer whose log file stayed unreachable through every retry. Drawn
+	// from the engine's ReadMetrics counter (may be shared).
+	CorruptionErrors int64
 	// Value-log occupancy for this engine (not shared): segment count and
 	// live/dead payload bytes.
 	VlogFiles     int
@@ -177,6 +204,10 @@ type ReadMetrics struct {
 	BlockCacheMisses *metric.Counter
 	HotCacheHits     *metric.Counter
 	HotCacheMisses   *metric.Counter
+	// CorruptionErrors counts reads that returned ErrCorruption: a value
+	// pointer that stayed unresolvable after the GC-race retries, meaning
+	// the file is genuinely missing rather than mid-rewrite.
+	CorruptionErrors *metric.Counter
 }
 
 // NewReadMetrics registers the read-path counters on reg and returns the
@@ -190,6 +221,7 @@ func NewReadMetrics(reg *metric.Registry) *ReadMetrics {
 		BlockCacheMisses: reg.NewCounter("lsm.cache.block.misses"),
 		HotCacheHits:     reg.NewCounter("lsm.cache.hot.hits"),
 		HotCacheMisses:   reg.NewCounter("lsm.cache.hot.misses"),
+		CorruptionErrors: reg.NewCounter("lsm.corruption.errors"),
 	}
 }
 
@@ -202,6 +234,7 @@ func newUnregisteredReadMetrics() *ReadMetrics {
 		BlockCacheMisses: &metric.Counter{},
 		HotCacheHits:     &metric.Counter{},
 		HotCacheMisses:   &metric.Counter{},
+		CorruptionErrors: &metric.Counter{},
 	}
 }
 
@@ -226,6 +259,10 @@ type WriteMetrics struct {
 	// value-log file was deleted mid-scan — provably shadowed entries (see
 	// resolveForScanLocked).
 	VlogResolveDropped *metric.Counter
+	// WALBytes counts framed bytes appended to the WAL (headers + CRC);
+	// WALFsyncs counts sync operations issued under the fsync policy.
+	WALBytes  *metric.Counter
+	WALFsyncs *metric.Counter
 }
 
 // NewWriteMetrics registers the write-path counters on reg and returns the
@@ -239,6 +276,8 @@ func NewWriteMetrics(reg *metric.Registry) *WriteMetrics {
 		VlogGCRewritten:    reg.NewCounter("lsm.vlog.gc.rewritten"),
 		VlogGCReclaimed:    reg.NewCounter("lsm.vlog.gc.reclaimed_bytes"),
 		VlogResolveDropped: reg.NewCounter("lsm.vlog.resolve.dropped"),
+		WALBytes:           reg.NewCounter("lsm.wal.bytes"),
+		WALFsyncs:          reg.NewCounter("lsm.wal.fsyncs"),
 	}
 }
 
@@ -251,6 +290,8 @@ func newUnregisteredWriteMetrics() *WriteMetrics {
 		VlogGCRewritten:    &metric.Counter{},
 		VlogGCReclaimed:    &metric.Counter{},
 		VlogResolveDropped: &metric.Counter{},
+		WALBytes:           &metric.Counter{},
+		WALFsyncs:          &metric.Counter{},
 	}
 }
 
@@ -305,14 +346,20 @@ type Engine struct {
 		nextID  uint64
 		metrics Metrics
 		closed  bool
+		// wal is the write-ahead log writer (nil for volatile engines). It
+		// is mutated only under the exclusive lock: batch commits append,
+		// flushes rotate, installs advance the manifest and prune segments.
+		wal *walWriter
 	}
 }
 
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("lsm: engine is closed")
 
-// New returns an empty Engine.
-func New(opts Options) *Engine {
+// newEngineShell builds an engine with metrics and caches wired but no
+// memtable, value log, or WAL state — New fills those in fresh, Open from
+// the recovered durable state.
+func newEngineShell(opts Options) *Engine {
 	e := &Engine{opts: opts.withDefaults()}
 	e.readMetrics = e.opts.ReadMetrics
 	if e.readMetrics == nil {
@@ -322,18 +369,199 @@ func New(opts Options) *Engine {
 	if e.writeMetrics == nil {
 		e.writeMetrics = newUnregisteredWriteMetrics()
 	}
-	if !e.opts.DisableValueSeparation {
-		e.vlog = newValueLog(e.opts.VlogFileSize)
-	}
 	if e.opts.BlockCacheBytes > 0 {
 		e.blockCache = newBlockCache(e.opts.BlockCacheBytes)
 	}
 	if e.opts.HotKeyCacheSize > 0 {
 		e.hotCache = newHotCache(e.opts.HotKeyCacheSize)
 	}
+	return e
+}
+
+// New returns an empty Engine. With Options.Durable set it starts a fresh
+// durable engine over the directory (assumed empty); use Open to recover
+// existing durable state after a crash.
+func New(opts Options) *Engine {
+	e := newEngineShell(opts)
+	if !e.opts.DisableValueSeparation {
+		e.vlog = newValueLog(e.opts.VlogFileSize, e.opts.Durable)
+	}
 	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed))
 	e.mu.nextID = 1
+	if e.opts.Durable != nil {
+		e.mu.wal = newWALWriter(e.opts.Durable, 1, e.opts.WALSegmentSize, e.opts.WALBytesPerSync)
+		e.mu.mem.firstSeg = 1
+	}
 	return e
+}
+
+// Open recovers an Engine from the durable state in opts.Durable: it loads
+// the manifest (verifying its checksum and format version), rebuilds the
+// levels from the persisted sstables, re-opens the value-log files found in
+// the directory, and replays the WAL from the manifest's minimum unflushed
+// segment into a fresh memtable, truncating at the first torn or corrupt
+// record. New appends go to a segment beyond every recovered one — a torn
+// tail is never appended to. With a nil Durable (or an empty directory)
+// Open is equivalent to New.
+func Open(opts Options) (*Engine, error) {
+	dir := opts.Durable
+	if dir == nil {
+		return New(opts), nil
+	}
+	m, exists, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		// No manifest: nothing was ever flushed. There may still be WAL
+		// segments (a crash before the first flush), so replay from the
+		// beginning with the initial state New would have used.
+		m = &manifest{nextID: 1, minUnflushedSeg: 1, walSeg: 1}
+	}
+	e := newEngineShell(opts)
+	for lvl := 0; lvl < numLevels; lvl++ {
+		for _, id := range m.levels[lvl] {
+			t, err := loadSSTable(dir, id)
+			if err != nil {
+				return nil, err
+			}
+			e.mu.levels[lvl] = append(e.mu.levels[lvl], t)
+		}
+	}
+	if !e.opts.DisableValueSeparation {
+		e.vlog = recoverValueLog(e.opts.VlogFileSize, dir, m)
+	}
+	e.mu.nextID = m.nextID
+	// The replacement-memtable convention from flushLocked: the skiplist seed
+	// derives from the next table id, so recovery lands on the same seed a
+	// surviving engine would have used for a memtable created at this point.
+	mem := newMemTable(randutil.NewRand(e.opts.Seed + int64(m.nextID)))
+	mem.firstSeg = m.minUnflushedSeg
+	var discards []valuePointer
+	if _, err := replayWAL(dir, m.minUnflushedSeg, func(entries []Entry) {
+		for _, ent := range entries {
+			if old, replaced := mem.set(ent); replaced && old.vptr {
+				if p, perr := decodeValuePointer(old.Value); perr == nil {
+					discards = append(discards, p)
+				}
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	e.mu.mem = mem
+	e.mu.metrics.MemTableBytes = mem.sizeB
+	if e.vlog != nil {
+		// Same-memtable overwrites rediscovered by replay retire their old
+		// value-log records, as the original commits did.
+		for _, p := range discards {
+			e.vlog.discard(p)
+		}
+	}
+	// Resume the WAL beyond every segment present: the last one may end in a
+	// torn record, and appending after a truncated tail would resurrect it.
+	nextSeg := m.walSeg
+	if segs := walSegments(dir); len(segs) > 0 {
+		if last := segs[len(segs)-1]; last > nextSeg {
+			nextSeg = last
+		}
+	}
+	e.mu.wal = newWALWriter(dir, nextSeg+1, e.opts.WALSegmentSize, e.opts.WALBytesPerSync)
+	removeOrphanSSTables(dir, m)
+	return e, nil
+}
+
+// removeOrphanSSTables deletes sstable files the manifest does not
+// reference — the residue of a crash between persisting a table and
+// installing the manifest that would have adopted it.
+func removeOrphanSSTables(dir *Dir, m *manifest) {
+	referenced := make(map[uint64]bool)
+	for lvl := 0; lvl < numLevels; lvl++ {
+		for _, id := range m.levels[lvl] {
+			referenced[id] = true
+		}
+	}
+	for _, name := range dir.List("sst-") {
+		var id uint64
+		if _, err := fmt.Sscanf(name, "sst-%d", &id); err != nil {
+			continue
+		}
+		if !referenced[id] {
+			dir.Remove(name)
+		}
+	}
+}
+
+// walAppendLocked frames one record into the WAL and keeps the byte/fsync
+// metrics current. Caller holds e.mu exclusively and has checked wal != nil.
+func (e *Engine) walAppendLocked(payload []byte) {
+	w := e.mu.wal
+	pre := w.fsyncs
+	framed, _ := w.append(payload)
+	e.mu.metrics.WALBytes += framed
+	e.writeMetrics.WALBytes.Inc(framed)
+	e.noteWALFsyncsLocked(pre)
+}
+
+// noteWALFsyncsLocked folds syncs issued since pre into the metrics.
+func (e *Engine) noteWALFsyncsLocked(pre int64) {
+	if d := e.mu.wal.fsyncs - pre; d > 0 {
+		e.mu.metrics.WALFsyncs += d
+		e.writeMetrics.WALFsyncs.Inc(d)
+	}
+}
+
+// minUnflushedSegLocked returns the lowest WAL segment still holding
+// unflushed data: the minimum firstSeg over the active memtable and every
+// immutable memtable whose sstable build has not installed.
+func (e *Engine) minUnflushedSegLocked() uint64 {
+	min := e.mu.mem.firstSeg
+	for _, j := range e.mu.imm {
+		if j.mem.firstSeg < min {
+			min = j.mem.firstSeg
+		}
+	}
+	return min
+}
+
+// writeManifestLocked installs a manifest describing the current durable
+// state and prunes WAL segments recovery can no longer need. Called under
+// e.mu after every flush or compaction install; a no-op for volatile
+// engines.
+func (e *Engine) writeManifestLocked() {
+	if e.mu.wal == nil {
+		return
+	}
+	m := &manifest{
+		nextID:          e.mu.nextID,
+		minUnflushedSeg: e.minUnflushedSegLocked(),
+		walSeg:          e.mu.wal.seg,
+	}
+	for lvl := 0; lvl < numLevels; lvl++ {
+		for _, t := range e.mu.levels[lvl] {
+			m.levels[lvl] = append(m.levels[lvl], t.id)
+		}
+	}
+	if e.vlog != nil {
+		// Lock order: e.mu before vlog.mu, the established direction.
+		m.vlogActiveID, m.vlogFiles = e.vlog.manifestState()
+	}
+	installManifest(e.opts.Durable, m)
+	e.mu.wal.deleteSegmentsBelow(m.minUnflushedSeg)
+}
+
+// walSyncBarrier forces any buffered WAL tail to durability. Value-log GC
+// invokes it before deleting a rewritten file: the relocated pointers ride
+// WAL records that must survive a crash that the deletion does.
+func (e *Engine) walSyncBarrier() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mu.wal == nil || e.mu.closed {
+		return
+	}
+	pre := e.mu.wal.fsyncs
+	e.mu.wal.sync()
+	e.noteWALFsyncsLocked(pre)
 }
 
 // Set writes key=value.
@@ -382,6 +610,26 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
+	// WAL first, inside the critical section: the record is framed and (per
+	// the fsync policy) synced before any entry becomes visible, and record
+	// order is exactly apply order. Volatile engines account the bytes the
+	// batch would have framed, so WALBytes stays comparable.
+	if len(sep) > 0 {
+		if e.mu.wal != nil {
+			var payload []byte
+			for _, ent := range sep {
+				payload = appendEntry(payload, ent)
+			}
+			e.walAppendLocked(payload)
+		} else {
+			framed := int64(walRecordHeaderLen)
+			for _, ent := range sep {
+				framed += int64(9 + len(ent.Key) + len(ent.Value))
+			}
+			e.mu.metrics.WALBytes += framed
+			e.writeMetrics.WALBytes.Inc(framed)
+		}
+	}
 	// The epoch bump precedes the invalidations, so a racing fill either
 	// sees the new epoch (and rejects itself) or lands before the
 	// invalidation (and is removed by it).
@@ -390,7 +638,6 @@ func (e *Engine) ApplyBatch(entries []Entry) error {
 		if e.hotCache != nil {
 			e.hotCache.invalidate(ent.Key)
 		}
-		e.mu.metrics.WALBytes += ent.size()
 		if old, replaced := e.mu.mem.set(ent); replaced && old.vptr {
 			if p, err := decodeValuePointer(old.Value); err == nil {
 				discards = append(discards, p)
@@ -448,8 +695,17 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 	}
 	for attempt := 0; ; attempt++ {
 		v, ok, err := e.getOnce(key)
-		if err == errVlogFileGone && attempt < 16 {
-			continue
+		if err == errVlogFileGone {
+			if attempt < 16 {
+				continue
+			}
+			// A pointer that stays unresolvable through every retry is not a
+			// GC race (the rewrite installs the new pointer before deleting
+			// the file): the value-log file is genuinely missing. Surface it
+			// as typed corruption, not the internal retry sentinel.
+			e.readMetrics.CorruptionErrors.Inc(1)
+			return nil, false, fmt.Errorf("%w: value-log file unresolvable after %d attempts for key %q",
+				ErrCorruption, attempt+1, key)
 		}
 		// getOnce returns an engine-owned view; the caller gets its own copy.
 		return cloneBytes(v), ok, err
@@ -609,7 +865,18 @@ func (e *Engine) flushLocked() (*trace.Span, *flushJob, bool, error) {
 	sp := e.opts.Tracer.StartRoot("lsm.flush")
 	job := &flushJob{mem: e.mu.mem, id: e.mu.nextID}
 	e.mu.nextID++
+	if e.mu.wal != nil {
+		// Rotate the WAL with the memtable: the rotated memtable's records
+		// end at the segment boundary, and once its sstable installs, the
+		// manifest's unflushed floor advances past them.
+		pre := e.mu.wal.fsyncs
+		e.mu.wal.rotate()
+		e.noteWALFsyncsLocked(pre)
+	}
 	e.mu.mem = newMemTable(randutil.NewRand(e.opts.Seed + int64(e.mu.nextID)))
+	if e.mu.wal != nil {
+		e.mu.mem.firstSeg = e.mu.wal.seg
+	}
 	e.mu.metrics.MemTableBytes = 0
 	if e.opts.DisableWritePipelining {
 		// Baseline: build the sstable inside the critical section, stalling
@@ -663,6 +930,12 @@ func (e *Engine) installFlushLocked(job *flushJob, t *ssTable, sp *trace.Span) {
 	e.mu.levels[0] = l0
 	e.mu.metrics.FlushedBytes += t.sizeB
 	e.mu.metrics.FlushCount++
+	if e.mu.wal != nil {
+		// Persist the table before the manifest that references it; a crash
+		// between the two leaves an orphan file that recovery deletes.
+		persistSSTable(e.opts.Durable, t)
+		e.writeManifestLocked()
+	}
 	sp.SetAttr("lsm.flushed_bytes", t.sizeB)
 	sp.SetAttr("lsm.l0_files", len(e.mu.levels[0]))
 }
@@ -705,6 +978,7 @@ func (e *Engine) Metrics() Metrics {
 	m.VlogGCRewritten = e.writeMetrics.VlogGCRewritten.Value()
 	m.VlogGCReclaimedBytes = e.writeMetrics.VlogGCReclaimed.Value()
 	m.VlogResolveDropped = e.writeMetrics.VlogResolveDropped.Value()
+	m.CorruptionErrors = e.readMetrics.CorruptionErrors.Value()
 	if e.vlog != nil {
 		vs := e.vlog.stats()
 		m.VlogFiles = vs.files
@@ -714,10 +988,20 @@ func (e *Engine) Metrics() Metrics {
 	return m
 }
 
-// Close releases the engine. Subsequent operations return ErrClosed.
+// Close releases the engine. Subsequent operations return ErrClosed. A
+// durable engine syncs any buffered WAL tail first, so a clean close loses
+// nothing even under a relaxed fsync policy.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.mu.closed {
+		return
+	}
+	if e.mu.wal != nil {
+		pre := e.mu.wal.fsyncs
+		e.mu.wal.sync()
+		e.noteWALFsyncsLocked(pre)
+	}
 	e.mu.closed = true
 }
 

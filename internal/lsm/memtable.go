@@ -31,6 +31,10 @@ type memTable struct {
 	sizeB  int64 // approximate bytes of keys+values
 	maxKey []byte
 	minKey []byte
+	// firstSeg is the lowest WAL segment holding this memtable's entries
+	// (durable engines only). The manifest records the minimum across the
+	// active and immutable memtables; recovery replays the WAL from there.
+	firstSeg uint64
 }
 
 func newMemTable(rng *rand.Rand) *memTable {

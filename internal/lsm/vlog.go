@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -80,12 +81,77 @@ type valueLog struct {
 	files    map[uint32]*vlogFile
 	activeID uint32
 	fileSize int64
+	// dir, when non-nil, mirrors every append into a durable file per
+	// segment, synced eagerly — a value record must be durable before the
+	// WAL record referencing it can be (ApplyBatch separates values before
+	// the WAL append, so program order gives the ordering for free).
+	dir *Dir
 }
 
-func newValueLog(fileSize int64) *valueLog {
-	vl := &valueLog{files: map[uint32]*vlogFile{}, activeID: 1, fileSize: fileSize}
+func newValueLog(fileSize int64, dir *Dir) *valueLog {
+	vl := &valueLog{files: map[uint32]*vlogFile{}, activeID: 1, fileSize: fileSize, dir: dir}
 	vl.files[1] = &vlogFile{id: 1}
 	return vl
+}
+
+// recoverValueLog rebuilds the log from the durable files in dir. The file
+// set comes from the directory, not the manifest — segments created after
+// the last manifest install hold values the replayed WAL references.
+// Discard stats are seeded from the manifest where it lists the file (they
+// are advisory, steering GC candidate order). The active file is the
+// highest-numbered one present.
+func recoverValueLog(fileSize int64, dir *Dir, m *manifest) *valueLog {
+	vl := &valueLog{files: map[uint32]*vlogFile{}, activeID: 1, fileSize: fileSize, dir: dir}
+	discard := make(map[uint32]int64, len(m.vlogFiles))
+	for _, mf := range m.vlogFiles {
+		discard[mf.id] = mf.discardBytes
+	}
+	for _, name := range dir.List("vlog-") {
+		var id uint32
+		if _, err := fmt.Sscanf(name, "vlog-%d", &id); err != nil {
+			continue
+		}
+		data, _ := dir.ReadFile(name)
+		f := &vlogFile{id: id, buf: data}
+		for off := 0; off+vlogRecordHeaderLen <= len(data); {
+			keyLen := int(binary.BigEndian.Uint32(data[off : off+4]))
+			valLen := int(binary.BigEndian.Uint32(data[off+4 : off+8]))
+			end := off + vlogRecordHeaderLen + keyLen + valLen
+			if end > len(data) {
+				break // defensive: appends sync eagerly, so no torn tails
+			}
+			f.totalBytes += int64(valLen)
+			off = end
+		}
+		if d, ok := discard[id]; ok {
+			f.discardBytes = d
+			if f.discardBytes > f.totalBytes {
+				f.discardBytes = f.totalBytes
+			}
+		}
+		vl.files[id] = f
+		if id > vl.activeID {
+			vl.activeID = id
+		}
+	}
+	if vl.files[vl.activeID] == nil {
+		vl.files[vl.activeID] = &vlogFile{id: vl.activeID}
+	}
+	return vl
+}
+
+// manifestState snapshots the file set for a manifest install, sorted by id
+// so same-state manifests are byte-identical.
+func (vl *valueLog) manifestState() (uint32, []manifestVlogFile) {
+	vl.mu.RLock()
+	active := vl.activeID
+	out := make([]manifestVlogFile, 0, len(vl.files))
+	for _, f := range vl.files {
+		out = append(out, manifestVlogFile{id: f.id, totalBytes: f.totalBytes, discardBytes: f.discardBytes})
+	}
+	vl.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return active, out
 }
 
 // append writes key/val to the active file and returns its pointer, rotating
@@ -107,6 +173,11 @@ func (vl *valueLog) append(key, val []byte) valuePointer {
 	f.buf = append(f.buf, key...)
 	f.buf = append(f.buf, val...)
 	f.totalBytes += int64(len(val))
+	if vl.dir != nil {
+		name := vlogFileName(f.id)
+		vl.dir.Append(name, f.buf[off:])
+		vl.dir.Sync(name)
+	}
 	return valuePointer{fileID: f.id, offset: off, length: uint32(len(val))}
 }
 
@@ -200,7 +271,9 @@ func (vl *valueLog) records(id uint32) []vlogRecord {
 }
 
 // deleteFile removes a fully-GC'd file and returns its payload bytes (the
-// space reclaimed).
+// space reclaimed). The durable mirror is removed with it — callers must
+// first force any WAL records carrying the relocated pointers to durability
+// (see Engine.walSyncBarrier).
 func (vl *valueLog) deleteFile(id uint32) int64 {
 	vl.mu.Lock()
 	defer vl.mu.Unlock()
@@ -209,6 +282,9 @@ func (vl *valueLog) deleteFile(id uint32) int64 {
 		return 0
 	}
 	delete(vl.files, id)
+	if vl.dir != nil {
+		vl.dir.Remove(vlogFileName(id))
+	}
 	return f.totalBytes
 }
 
@@ -303,6 +379,10 @@ func (e *Engine) rewriteVlogFile(id uint32) bool {
 	if skipped {
 		return true // file stays; its remaining live records retry later
 	}
+	// The relocated pointers were WAL-logged by their installs; force that
+	// tail durable before the old file disappears, so no crash can leave a
+	// durable pointer aimed at a deleted file.
+	e.walSyncBarrier()
 	reclaimed := e.vlog.deleteFile(id)
 	e.writeMetrics.VlogGCReclaimed.Inc(reclaimed)
 	return true
@@ -386,7 +466,13 @@ func (e *Engine) installRewrittenPointer(key []byte, ptr valuePointer, minNewID 
 			return false
 		}
 	}
-	old, replaced := e.mu.mem.set(Entry{Key: cloneBytes(key), Value: encodeValuePointer(ptr), vptr: true})
+	ent := Entry{Key: cloneBytes(key), Value: encodeValuePointer(ptr), vptr: true}
+	// The moved pointer must survive a crash like any other write: WAL it
+	// before it becomes visible, in the same critical section.
+	if e.mu.wal != nil {
+		e.walAppendLocked(appendEntry(nil, ent))
+	}
+	old, replaced := e.mu.mem.set(ent)
 	_ = old
 	_ = replaced // mem.get above ruled out a resident entry
 	e.mu.metrics.MemTableBytes = e.mu.mem.sizeB

@@ -103,13 +103,29 @@ func decodeValue(b []byte) (Version, error) {
 // transaction holds an intent on the key, and WriteTooOldError when a
 // committed version exists at or above ts.
 func Put(e *lsm.Engine, key keys.Key, ts hlc.Timestamp, txnID uint64, value []byte) error {
-	return putVersion(e, key, Version{Ts: ts, TxnID: txnID, Data: value})
+	return putVersion(e, key, Version{Ts: ts, TxnID: txnID, Data: value}, false)
 }
 
 // Delete writes a deletion tombstone version for key at ts, with the same
 // conflict rules as Put.
 func Delete(e *lsm.Engine, key keys.Key, ts hlc.Timestamp, txnID uint64) error {
-	return putVersion(e, key, Version{Ts: ts, TxnID: txnID, Tombstone: true})
+	return putVersion(e, key, Version{Ts: ts, TxnID: txnID, Tombstone: true}, false)
+}
+
+// ApplyPut is the replication-side Put: it skips conflict checking, which
+// already ran on the leaseholder during evaluation. Replicas applying a
+// committed command — including a recovered store replaying raft entries over
+// partially surviving state — must not re-check, because a half-applied
+// command's own versions would read as conflicts and make deterministic
+// application fail partway through. It is idempotent: re-applying writes the
+// identical version at the identical timestamp.
+func ApplyPut(e *lsm.Engine, key keys.Key, ts hlc.Timestamp, txnID uint64, value []byte) error {
+	return putVersion(e, key, Version{Ts: ts, TxnID: txnID, Data: value}, true)
+}
+
+// ApplyDelete is the replication-side Delete (see ApplyPut).
+func ApplyDelete(e *lsm.Engine, key keys.Key, ts hlc.Timestamp, txnID uint64) error {
+	return putVersion(e, key, Version{Ts: ts, TxnID: txnID, Tombstone: true}, true)
 }
 
 // CheckWriteConflict reports the conflict a write at (ts, txnID) on key would
@@ -137,20 +153,24 @@ func CheckWriteConflict(e *lsm.Engine, key keys.Key, ts hlc.Timestamp, txnID uin
 	return nil
 }
 
-func putVersion(e *lsm.Engine, key keys.Key, v Version) error {
-	if err := CheckWriteConflict(e, key, v.Ts, v.TxnID); err != nil {
-		return err
+func putVersion(e *lsm.Engine, key keys.Key, v Version, replay bool) error {
+	if !replay {
+		if err := CheckWriteConflict(e, key, v.Ts, v.TxnID); err != nil {
+			return err
+		}
 	}
 	newest, ok, err := newestVersion(e, key)
 	if err != nil {
 		return err
 	}
-	if ok && newest.IsIntent() && newest.TxnID == v.TxnID {
-		// Same transaction rewriting its intent: replace the old
-		// provisional version.
-		if err := e.Delete(EncodeKey(key, newest.Ts)); err != nil {
-			return err
-		}
+	if ok && newest.IsIntent() && newest.TxnID == v.TxnID && v.IsIntent() {
+		// Same transaction rewriting its intent: replace the old provisional
+		// version. Tombstone and replacement go through one engine batch (one
+		// WAL record) so a crash can never surface both versions — or neither.
+		return e.ApplyBatch([]lsm.Entry{
+			{Key: EncodeKey(key, newest.Ts), Tombstone: true},
+			{Key: EncodeKey(key, v.Ts), Value: encodeValue(v)},
+		})
 	}
 	return e.Set(EncodeKey(key, v.Ts), encodeValue(v))
 }
@@ -290,7 +310,10 @@ func Scan(e *lsm.Engine, span keys.Span, readTs hlc.Timestamp, txnID uint64, max
 // ResolveIntent finalizes txnID's intent on key. When commit is true the
 // provisional version is rewritten as committed at commitTs; otherwise it is
 // removed. Resolving a key with no matching intent is a no-op (resolution
-// must be idempotent: the txn layer retries it).
+// must be idempotent: the txn layer retries it). The intent removal and the
+// committed rewrite go through one engine batch — one WAL record — so a crash
+// mid-resolution can never lose the committed version while having dropped
+// the intent (or leave both visible).
 func ResolveIntent(e *lsm.Engine, key keys.Key, txnID uint64, commit bool, commitTs hlc.Timestamp) error {
 	v, ok, err := newestVersion(e, key)
 	if err != nil {
@@ -299,14 +322,14 @@ func ResolveIntent(e *lsm.Engine, key keys.Key, txnID uint64, commit bool, commi
 	if !ok || !v.IsIntent() || v.TxnID != txnID {
 		return nil
 	}
-	if err := e.Delete(EncodeKey(key, v.Ts)); err != nil {
-		return err
-	}
 	if !commit {
-		return nil
+		return e.Delete(EncodeKey(key, v.Ts))
 	}
 	committed := Version{Ts: commitTs, Tombstone: v.Tombstone, Data: v.Data}
-	return e.Set(EncodeKey(key, commitTs), encodeValue(committed))
+	return e.ApplyBatch([]lsm.Entry{
+		{Key: EncodeKey(key, v.Ts), Tombstone: true},
+		{Key: EncodeKey(key, commitTs), Value: encodeValue(committed)},
+	})
 }
 
 // GCOldVersions removes all but the newest committed version of each key in

@@ -32,6 +32,17 @@ type StateMachine interface {
 	Apply(index uint64, cmd []byte) error
 }
 
+// SnapshotStateMachine is a StateMachine that can ship its full state to a
+// peer that has fallen behind the group's log truncation point. Snapshot
+// serializes the donor's applied state; ApplySnapshot replaces the target's
+// state with it and fast-forwards the target to the donor's applied index.
+// Log replay resumes from there.
+type SnapshotStateMachine interface {
+	StateMachine
+	Snapshot() ([]byte, error)
+	ApplySnapshot(index uint64, data []byte) error
+}
+
 // LivenessFunc reports whether a node is currently live (heartbeating). The
 // KV layer wires this to its node-health tracker; an overloaded node that
 // misses heartbeats reads as dead and cannot hold leases or ack proposals.
@@ -54,6 +65,9 @@ var (
 	ErrNotLeaseholder = errors.New("raftlite: not leaseholder")
 	ErrNoQuorum       = errors.New("raftlite: no quorum of live replicas")
 	ErrUnknownPeer    = errors.New("raftlite: node has no replica of this range")
+	// ErrSnapshotUnavailable reports a peer behind the log truncation point
+	// with no live snapshot-capable donor to catch it up from.
+	ErrSnapshotUnavailable = errors.New("raftlite: peer behind truncation point and no snapshot donor available")
 )
 
 type entry struct {
@@ -137,12 +151,22 @@ type Group struct {
 		leading bool
 	}
 
-	mu     sync.Mutex
-	term   uint64
-	log    []entry
-	commit uint64
-	peers  []*peer
-	lease  Lease
+	retention uint64
+
+	mu   sync.Mutex
+	term uint64
+	// log holds the entries after the truncation point: log[i] is the entry
+	// at index truncated+i+1. Entries at or below truncated were compacted
+	// away once every live peer applied them (keeping retention extras); a
+	// peer behind the truncation point rejoins via snapshot.
+	log       []entry
+	truncated uint64
+	commit    uint64
+	peers     []*peer
+	lease     Lease
+	// snapshots counts snapshot catch-ups performed (observability; the
+	// chaos harness reports it per run).
+	snapshots int64
 }
 
 // Config configures a Group.
@@ -172,6 +196,14 @@ type Config struct {
 	// instrumentation (raft.commit.batch_size and friends). Shared across
 	// groups; see NewCommitMetrics.
 	CommitMetrics *CommitMetrics
+	// LogRetention, when > 0, enables log truncation: after each commit
+	// round the log is compacted up to the minimum applied index over live
+	// peers minus LogRetention entries of slack (so a briefly-lagging peer
+	// can still catch up from the log). A peer that falls behind the
+	// truncation point — dead through many rounds, or a recovered store
+	// whose durable applied index regressed — rejoins via snapshot from a
+	// live SnapshotStateMachine peer. 0 (the default) never truncates.
+	LogRetention uint64
 }
 
 // NewGroup creates a replication group over the given nodes. Each node's
@@ -198,6 +230,7 @@ func NewGroup(cfg Config, nodes []NodeID, sms []StateMachine) (*Group, error) {
 		commitOverhead: cfg.CommitOverhead,
 		disableGroup:   cfg.DisableGroupCommit,
 		commitMetrics:  cfg.CommitMetrics,
+		retention:      cfg.LogRetention,
 		term:           1,
 	}
 	for i, id := range nodes {
@@ -395,7 +428,7 @@ func (g *Group) commitRound(batch []*proposal) {
 			continue
 		}
 		g.log = append(g.log, entry{term: g.term, cmd: p.cmd})
-		p.index = uint64(len(g.log))
+		p.index = g.truncated + uint64(len(g.log))
 		appended++
 	}
 	if appended > 0 {
@@ -408,7 +441,7 @@ func (g *Group) commitRound(batch []*proposal) {
 			//lint:allow lockscope models the serialized commit round; zero in every deterministic config
 			g.clock.Sleep(g.commitOverhead)
 		}
-		g.commit = uint64(len(g.log))
+		g.commit = g.truncated + uint64(len(g.log))
 		if roundErr := g.applyCommittedLocked(); roundErr != nil {
 			// An apply error surfaces on every proposal that committed in
 			// this round, matching the old one-proposal-per-round path where
@@ -419,6 +452,7 @@ func (g *Group) commitRound(batch []*proposal) {
 				}
 			}
 		}
+		g.maybeTruncateLocked()
 		g.commitMetrics.record(appended)
 	}
 	g.mu.Unlock()
@@ -483,16 +517,30 @@ func proposalErrClass(err error) string {
 	}
 }
 
+// entryLocked returns the log entry at index (must be above the truncation
+// point and at most the last appended index).
+func (g *Group) entryLocked(index uint64) entry {
+	return g.log[index-g.truncated-1]
+}
+
 // applyCommittedLocked applies newly committed entries to every live peer,
-// and lets previously-dead peers catch up.
+// and lets previously-dead peers catch up. A live peer that has fallen
+// behind the truncation point (it was dead while the log compacted, or its
+// recovered store regressed) is first restored via snapshot; if no donor is
+// available it is skipped this round and retried on the next.
 func (g *Group) applyCommittedLocked() error {
 	var firstErr error
 	for _, p := range g.peers {
 		if !g.live(p.id) {
 			continue
 		}
+		if p.applied < g.truncated {
+			if err := g.snapshotCatchUpLocked(p); err != nil {
+				continue // stays behind; a later round or explicit CatchUp retries
+			}
+		}
 		for p.applied < g.commit {
-			e := g.log[p.applied]
+			e := g.entryLocked(p.applied + 1)
 			if err := p.sm.Apply(p.applied+1, e.cmd); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -500,6 +548,99 @@ func (g *Group) applyCommittedLocked() error {
 		}
 	}
 	return firstErr
+}
+
+// maybeTruncateLocked compacts the log prefix every live peer has applied,
+// keeping retention entries of slack so short-lived laggards can still use
+// log replay. Dead peers do not hold back truncation — that is the point:
+// they rejoin via snapshot. No-op unless Config.LogRetention was set.
+func (g *Group) maybeTruncateLocked() {
+	if g.retention == 0 {
+		return
+	}
+	min := g.commit
+	for _, p := range g.peers {
+		if g.live(p.id) && p.applied < min {
+			min = p.applied
+		}
+	}
+	if min <= g.retention {
+		return
+	}
+	target := min - g.retention
+	if target <= g.truncated {
+		return
+	}
+	drop := target - g.truncated
+	g.log = append([]entry(nil), g.log[drop:]...)
+	g.truncated = target
+}
+
+// snapshotCatchUpLocked restores a peer that is behind the truncation point
+// from the most advanced live snapshot-capable donor, then leaves log replay
+// to the caller. Donor choice is deterministic: highest applied index wins,
+// first peer in replica order on ties.
+func (g *Group) snapshotCatchUpLocked(p *peer) error {
+	target, ok := p.sm.(SnapshotStateMachine)
+	if !ok {
+		return ErrSnapshotUnavailable
+	}
+	var donor *peer
+	for _, d := range g.peers {
+		if d == p || !g.live(d.id) {
+			continue
+		}
+		if _, ok := d.sm.(SnapshotStateMachine); !ok {
+			continue
+		}
+		if donor == nil || d.applied > donor.applied {
+			donor = d
+		}
+	}
+	// The donor must reach the replayable log: a snapshot lands the target at
+	// the donor's applied index, and replay needs every entry above it to
+	// still exist. Truncation only advances past indexes every live peer
+	// applied, so live donors normally qualify — but a group seeded from a
+	// predecessor (SeedState) can hold live peers below its truncation point,
+	// and they must not donate.
+	if donor == nil || donor.applied <= p.applied || donor.applied < g.truncated {
+		return ErrSnapshotUnavailable
+	}
+	data, err := donor.sm.(SnapshotStateMachine).Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := target.ApplySnapshot(donor.applied, data); err != nil {
+		return err
+	}
+	p.applied = donor.applied
+	g.snapshots++
+	return nil
+}
+
+// SeedState initializes a fresh group as the logical continuation of a
+// predecessor whose commit index had reached commit — the right half of a
+// range split, or a group rebuilt after a replica move. The data below commit
+// already lives in the peers' state machines, so the log starts empty with
+// everything at or below commit treated as truncated, and each peer's applied
+// index carries over from the predecessor (capped at commit; peers missing
+// from the map start at zero). A peer that was lagging in the predecessor is
+// behind this group's truncation point and rejoins via snapshot — without
+// seeding, a fresh group at commit zero would consider such a peer caught up
+// and its stale state would never heal. Call before the group serves
+// proposals.
+func (g *Group) SeedState(commit uint64, applied map[NodeID]uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.truncated = commit
+	g.commit = commit
+	for _, p := range g.peers {
+		a := applied[p.id]
+		if a > commit {
+			a = commit
+		}
+		p.applied = a
+	}
 }
 
 // CatchUp applies any committed entries a peer missed while dead. Call after
@@ -510,15 +651,21 @@ func (g *Group) CatchUp(node NodeID) error {
 	return g.catchUpPeerLocked(node)
 }
 
-// catchUpPeerLocked applies committed entries the peer has not yet applied.
-// Lease acquisition and transfer run it before granting.
+// catchUpPeerLocked applies committed entries the peer has not yet applied,
+// going through a snapshot first when the peer is behind the truncation
+// point. Lease acquisition and transfer run it before granting.
 func (g *Group) catchUpPeerLocked(node NodeID) error {
 	for _, p := range g.peers {
 		if p.id != node {
 			continue
 		}
+		if p.applied < g.truncated {
+			if err := g.snapshotCatchUpLocked(p); err != nil {
+				return err
+			}
+		}
 		for p.applied < g.commit {
-			e := g.log[p.applied]
+			e := g.entryLocked(p.applied + 1)
 			if err := p.sm.Apply(p.applied+1, e.cmd); err != nil {
 				return err
 			}
@@ -527,6 +674,38 @@ func (g *Group) catchUpPeerLocked(node NodeID) error {
 		return nil
 	}
 	return ErrUnknownPeer
+}
+
+// RegressApplied lowers a peer's applied index to the given value (no-op if
+// the peer is already at or below it). A store that crashed and recovered
+// calls this with the applied index its durable state actually reached, so
+// the group replays — or snapshots — the suffix the crash tore away.
+func (g *Group) RegressApplied(node NodeID, applied uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.peers {
+		if p.id == node {
+			if applied < p.applied {
+				p.applied = applied
+			}
+			return nil
+		}
+	}
+	return ErrUnknownPeer
+}
+
+// Snapshots returns the cumulative number of snapshot catch-ups performed.
+func (g *Group) Snapshots() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.snapshots
+}
+
+// TruncatedIndex returns the log truncation point (0 when never truncated).
+func (g *Group) TruncatedIndex() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.truncated
 }
 
 // AppliedIndex returns a peer's applied index (for tests and rebalancing).
