@@ -1,0 +1,61 @@
+// Range-management decision paths: split, merge, and lease-transfer
+// candidates often live in maps keyed by range ID, and acting on them in
+// iteration order makes rebalancing decisions nondeterministic — two runs of
+// the same tick would split or transfer different ranges first.
+package maporder
+
+import "sort"
+
+type rangeID int
+
+type loadState struct {
+	qps float64
+}
+
+// enqueueSplit is order-observable: the split queue is consumed positionally
+// by the tick that performs the splits.
+func enqueueSplit(queue chan rangeID, id rangeID) {
+	queue <- id
+}
+
+// splitInMapOrder enqueues splits while ranging the hot-range map: the split
+// order (and with a per-tick budget, the chosen set) depends on iteration
+// order.
+func splitInMapOrder(hot map[rangeID]*loadState, queue chan rangeID) {
+	for id := range hot {
+		enqueueSplit(queue, id) // want maporder
+	}
+}
+
+// transferQueueInMapOrder builds the lease-transfer work list in map order;
+// the queue is consumed positionally, so the order escapes.
+func transferQueueInMapOrder(changed map[rangeID]float64) []rangeID {
+	var queue []rangeID
+	for id := range changed {
+		queue = append(queue, id) // want maporder
+	}
+	return queue
+}
+
+// mergeCandidatesSorted drains the cold-range set through a sort, so the
+// merge pass visits ranges in ID order regardless of map layout.
+func mergeCandidatesSorted(cold map[rangeID]struct{}) []rangeID {
+	out := make([]rangeID, 0, len(cold))
+	for id := range cold {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hottestRange is a pure reduction with a deterministic ID tie-break; no
+// iteration order escapes.
+func hottestRange(loads map[rangeID]float64) rangeID {
+	best, bestQPS := rangeID(0), -1.0
+	for id, qps := range loads {
+		if qps > bestQPS || (qps == bestQPS && id < best) {
+			best, bestQPS = id, qps
+		}
+	}
+	return best
+}

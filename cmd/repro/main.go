@@ -12,7 +12,7 @@
 // emits fig12+fig13), kvbench (also writes BENCH_kv.json), tracez, fleetobs
 // (per-tenant observability under a noisy-neighbor storm), fig11, pushdown,
 // kvscaling, chaos (seeded fault storm; -chaos-seed reproduces a run),
-// ablations.
+// mergestorm (split/merge churn against the range directory), ablations.
 package main
 
 import (
@@ -43,6 +43,8 @@ func main() {
 		kvBlock    = flag.Float64("kvbench-min-block-hit", 0, "fail kvbench if block_cache_hit_ratio falls below this (0 disables the gate)")
 		kvReclaim  = flag.Float64("kvbench-min-vlog-reclaim", 0, "fail kvbench if vlog_reclaim_fraction falls below this (0 disables the gate)")
 		kvRecovery = flag.Float64("kvbench-max-recovery-ms", 0, "fail kvbench if recovery_ms exceeds this ceiling (0 disables the gate)")
+		kvHotRange = flag.Float64("kvbench-min-hotrange-speedup", 0, "fail kvbench if fleet_hot_p99_speedup falls below this (0 disables the gate)")
+		kvTickUS   = flag.Float64("kvbench-max-tick-us", 0, "fail kvbench if fleet_idle_tick_us exceeds this ceiling (0 disables the gate)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,8 @@ func main() {
 		minBlockHit:    *kvBlock,
 		minVlogReclaim: *kvReclaim,
 		maxRecoveryMS:  *kvRecovery,
+		minHotRange:    *kvHotRange,
+		maxTickUS:      *kvTickUS,
 	})
 	if *list {
 		for _, e := range exps {
@@ -87,7 +91,9 @@ type kvGates struct {
 	minZipfSpeedup float64 // zipf_read_p99_speedup
 	minBlockHit    float64 // block_cache_hit_ratio
 	minVlogReclaim float64 // vlog_reclaim_fraction
-	maxRecoveryMS  float64 // recovery_ms ceiling (the others are floors)
+	maxRecoveryMS  float64 // recovery_ms ceiling
+	minHotRange    float64 // fleet_hot_p99_speedup
+	maxTickUS      float64 // fleet_idle_tick_us ceiling
 }
 
 func buildExperiments(quick bool, chaosSeed int64, kv kvGates) []experiment {
@@ -217,6 +223,14 @@ func buildExperiments(quick bool, chaosSeed int64, kv kvGates) []experiment {
 				return fmt.Errorf("recovery_ms %.1f above the %.1f ceiling",
 					res.RecoveryMillis, kv.maxRecoveryMS)
 			}
+			if kv.minHotRange > 0 && res.FleetHotP99Speedup < kv.minHotRange {
+				return fmt.Errorf("fleet_hot_p99_speedup %.2fx below the %.2fx gate",
+					res.FleetHotP99Speedup, kv.minHotRange)
+			}
+			if kv.maxTickUS > 0 && res.FleetIdleTickMicros > kv.maxTickUS {
+				return fmt.Errorf("fleet_idle_tick_us %.1f above the %.1f ceiling",
+					res.FleetIdleTickMicros, kv.maxTickUS)
+			}
 			return nil
 		}},
 		{"tracez", "observability: end-to-end request traces and the debug surfaces", func() error {
@@ -293,6 +307,29 @@ func buildExperiments(quick bool, chaosSeed int64, kv kvGates) []experiment {
 					res.Seed, len(res.Violations), res.Seed)
 			}
 			fmt.Printf("all invariants held (rerun with -chaos-seed=%d for the identical schedule)\n", res.Seed)
+			return nil
+		}},
+		{"mergestorm", "chaos profile: split/merge storm against the range directory + partition invariant", func() error {
+			res, err := experiments.Chaos(context.Background(), experiments.ChaosOptions{
+				Seed:       chaosSeed,
+				Ops:        scale(2000, 600),
+				MergeStorm: true,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Table)
+			if len(res.Violations) > 0 {
+				for _, v := range res.Violations {
+					fmt.Fprintf(os.Stderr, "violation: %s\n", v)
+				}
+				return fmt.Errorf("merge storm (seed=%d) found %d invariant violations; rerun with -chaos-seed=%d to reproduce",
+					res.Seed, len(res.Violations), res.Seed)
+			}
+			if res.Merges == 0 || res.Splits == 0 {
+				return fmt.Errorf("merge storm did not churn the directory: splits=%d merges=%d", res.Splits, res.Merges)
+			}
+			fmt.Printf("all invariants held across %d splits and %d merges (seed=%d)\n", res.Splits, res.Merges, res.Seed)
 			return nil
 		}},
 		{"ablations", "design-choice ablations (fair queueing, trickle grants, model shape, warm pool)", func() error {

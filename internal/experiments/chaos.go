@@ -42,6 +42,11 @@ type ChaosOptions struct {
 	Ops int
 	// Nodes is the KV cluster size. Defaults to 5.
 	Nodes int
+	// MergeStorm boosts the split and merge sites an order of magnitude so
+	// the range directory churns in both directions at once while the rest
+	// of the fault surface stays armed — the regression surface for the
+	// split/merge/maintenance-index machinery.
+	MergeStorm bool
 }
 
 // ChaosResult is the outcome of a chaos run.
@@ -55,7 +60,11 @@ type ChaosResult struct {
 	// which it does not, lands in Violations.
 	Unavailable int
 	Splits      int
-	Flaps       int
+	// Merges counts chaos.merge fires that actually collapsed a range pair
+	// (an ineligible pair — tenant boundary, mid-move replica mismatch — is
+	// a skip, not a merge).
+	Merges int
+	Flaps  int
 	// Crashes counts store.crash events: a node's store killed mid-storm
 	// (losing its unsynced WAL tail), recovered from durable state, and
 	// reconciled with its replication groups.
@@ -103,6 +112,10 @@ var chaosSiteConfigs = []struct {
 	// the schedule.
 	{"chaos.flap", faultinject.Site{Probability: 0.02}},
 	{"chaos.split", faultinject.Site{Probability: 0.005}},
+	// Merge the range containing a workload key back into its left
+	// neighbor. At the default rate merges trail splits, so the directory
+	// still grows; the merge-storm profile inverts that.
+	{"chaos.merge", faultinject.Site{Probability: 0.005}},
 	// Kill a store mid-storm: cordon the node, tear its directory at the
 	// fault-injected offset (unsynced WAL suffix lost), reopen from durable
 	// state, and regress its replication groups to what storage retained.
@@ -193,7 +206,16 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 	bucket := tenantcost.NewNodeBucket(buckets, clock, chaosTenant, 1)
 
 	for _, s := range chaosSiteConfigs {
-		reg.Enable(s.name, s.cfg)
+		cfg := s.cfg
+		if opts.MergeStorm {
+			switch s.name {
+			case "chaos.split":
+				cfg.Probability = 0.03
+			case "chaos.merge":
+				cfg.Probability = 0.05
+			}
+		}
+		reg.Enable(s.name, cfg)
 	}
 
 	res := &ChaosResult{Seed: opts.Seed, Ops: opts.Ops}
@@ -270,6 +292,21 @@ func Chaos(ctx context.Context, opts ChaosOptions) (*ChaosResult, error) {
 			if err := cluster.SplitAt(chaosKey(name)); err == nil {
 				res.Splits++
 				fmt.Fprintf(&tr, "op=%d split at %s\n", op, name)
+			}
+		}
+		if reg.Should("chaos.merge") {
+			name := chaosKeyName(rng.Intn(chaosKeyCount))
+			merged, err := cluster.MergeAt(chaosKey(name))
+			switch {
+			case err != nil:
+				// No catch-up donor (every replica of the pair is down) is an
+				// availability outcome, same class as an unavailable op.
+				fmt.Fprintf(&tr, "op=%d merge at %s -> unavailable\n", op, name)
+			case merged:
+				res.Merges++
+				fmt.Fprintf(&tr, "op=%d merge at %s -> merged\n", op, name)
+			default:
+				fmt.Fprintf(&tr, "op=%d merge at %s -> skipped\n", op, name)
 			}
 		}
 
@@ -540,7 +577,31 @@ func chaosCheckInvariants(ctx context.Context, cluster *kvserver.Cluster,
 				st.RangeID, st.Node, st.Applied, st.Commit)
 		}
 	}
-	// 5. Tenant cost accounting never goes negative.
+	// 5. The range directory partitions the keyspace: spans are contiguous,
+	// non-overlapping, and cover MinKey.Next() through MaxKey. Splits and
+	// merges racing with crashes must never leave a gap (unroutable keys) or
+	// an overlap (two ranges both authoritative for a key).
+	descs := cluster.Descriptors()
+	if len(descs) == 0 {
+		violate("directory is empty")
+	} else {
+		if !descs[0].Span.Key.Equal(keys.MinKey.Next()) {
+			violate("first range starts at %s, want %s", descs[0].Span.Key, keys.MinKey.Next())
+		}
+		if !descs[len(descs)-1].Span.EndKey.Equal(keys.MaxKey) {
+			violate("last range ends at %s, want %s", descs[len(descs)-1].Span.EndKey, keys.MaxKey)
+		}
+		for i, d := range descs {
+			if !d.Span.Key.Less(d.Span.EndKey) {
+				violate("range %d span [%s,%s) is empty or inverted", d.RangeID, d.Span.Key, d.Span.EndKey)
+			}
+			if i > 0 && !descs[i-1].Span.EndKey.Equal(d.Span.Key) {
+				violate("directory gap/overlap between [%s,%s) and [%s,%s)",
+					descs[i-1].Span.Key, descs[i-1].Span.EndKey, d.Span.Key, d.Span.EndKey)
+			}
+		}
+	}
+	// 6. Tenant cost accounting never goes negative.
 	if avail := buckets.Available(chaosTenant); avail < 0 {
 		violate("tenant token bucket negative: %f", avail)
 	}
@@ -563,6 +624,7 @@ func chaosTable(res *ChaosResult, siteFires map[string]int) *Table {
 	add("aborts", res.Aborts)
 	add("unavailable ops", res.Unavailable)
 	add("splits", res.Splits)
+	add("merges", res.Merges)
 	add("liveness flaps", res.Flaps)
 	add("store crashes", res.Crashes)
 	add("raft snapshots", res.RaftSnapshots)

@@ -63,3 +63,47 @@ func TestChaosFullRun(t *testing.T) {
 		t.Fatalf("run did not exercise the system: commits=%d fires=%d", res.Commits, res.TotalFires)
 	}
 }
+
+// The merge-storm profile churns the directory in both directions while the
+// full fault surface stays armed. The run must stay consistent, and both
+// split and merge machinery must actually fire.
+func TestMergeStormSmoke(t *testing.T) {
+	res, err := Chaos(context.Background(), ChaosOptions{Seed: 11, Ops: 600, MergeStorm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Splits == 0 || res.Merges == 0 {
+		t.Fatalf("storm did not churn the directory: splits=%d merges=%d", res.Splits, res.Merges)
+	}
+	if res.Commits == 0 {
+		t.Fatal("storm run committed nothing")
+	}
+}
+
+// Merge storms must replay byte-identically from the seed, like every other
+// chaos profile — merges are driven by the registry and cluster state, never
+// by wall-clock load signals.
+func TestMergeStormDeterminism(t *testing.T) {
+	ctx := context.Background()
+	a, err := Chaos(ctx, ChaosOptions{Seed: 23, Ops: 400, MergeStorm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(ctx, ChaosOptions{Seed: 23, Ops: 400, MergeStorm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule != b.Schedule {
+		t.Errorf("fault schedules diverge for the same seed:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.Schedule, b.Schedule)
+	}
+	if a.Trace != b.Trace {
+		t.Errorf("operation traces diverge for the same seed:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.Trace, b.Trace)
+	}
+	if a.Merges != b.Merges || a.Splits != b.Splits {
+		t.Errorf("directory churn diverges: run1={s:%d m:%d} run2={s:%d m:%d}",
+			a.Splits, a.Merges, b.Splits, b.Merges)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 	"crdbserverless/internal/mvcc"
 	"crdbserverless/internal/raftlite"
 	"crdbserverless/internal/rowfilter"
+	"crdbserverless/internal/tenantobs"
 	"crdbserverless/internal/timeutil"
 	"crdbserverless/internal/trace"
 )
@@ -66,6 +68,32 @@ type ClusterConfig struct {
 	// behind the truncation point — a store revived after a crash — rejoins
 	// via state snapshot instead of log replay.
 	RaftLogRetention uint64
+	// LoadSplitQPSThreshold enables load-based splitting: a range whose
+	// decayed QPS estimate exceeds it splits at the load-weighted sample
+	// median. 0 (the default) disables load splits.
+	LoadSplitQPSThreshold float64
+	// LoadHalfLife is the half-life of the per-range and per-node load
+	// EWMAs. Defaults to 10s.
+	LoadHalfLife time.Duration
+	// LoadRebalancing enables QPS-weighted lease placement: the tick moves
+	// leases off nodes whose decayed load dominates a replica peer's, and
+	// the count-based balancer leaves load-significant ranges to it.
+	LoadRebalancing bool
+	// MergeEnabled turns on cold-range merging: a range whose load and size
+	// stay below the hysteresis thresholds for MergeDelay merges into its
+	// right neighbor's span.
+	MergeEnabled bool
+	// MergeQPSFraction is the hysteresis gap between split and merge: a
+	// range is merge-cold only while its QPS sits below
+	// LoadSplitQPSThreshold×MergeQPSFraction. Defaults to 0.25.
+	MergeQPSFraction float64
+	// MergeDelay is how long a range must stay cold before it merges
+	// (re-checked once after this delay). Defaults to 30s.
+	MergeDelay time.Duration
+	// RangeMetrics, when non-nil, counts split/merge/transfer decisions.
+	RangeMetrics *RangeMetrics
+	// Obs, when non-nil, receives per-tenant range-management events.
+	Obs *tenantobs.Plane
 }
 
 // rangeState is one range: descriptor, replication group, and stats.
@@ -83,9 +111,19 @@ type rangeState struct {
 	descAtomic atomic.Pointer[RangeDescriptor]
 	// tsc is the range's timestamp cache (lost-update protection).
 	tsc *tsCache
+	// load is the range's decayed QPS/write-byte signal and key reservoir.
+	load *rangeLoad
+	// dirty guards duplicate changed-set insertions between ticks: only the
+	// first batch after a drain pays the index lock.
+	dirty atomic.Bool
 
 	statsMu      sync.Mutex
 	writtenBytes int64
+	// loadMoveAt is when the load balancer last moved this range's lease.
+	// Until the node counters re-converge from observed traffic (a few
+	// half-lives), the transferred weight is double-counted on the target
+	// and re-moving the range would thrash.
+	loadMoveAt time.Time
 }
 
 // engineSM adapts a node's engine to the raftlite.SnapshotStateMachine
@@ -133,6 +171,14 @@ type Cluster struct {
 		rowDecoder  RowDecoder
 	}
 	dir metaDirectory
+	// idx is the incremental maintenance index (per-node lease/replica
+	// aggregates, renewal and merge heaps, the changed set). Lock order:
+	// (latches) → c.mu → idx.mu; idx.mu is a strict leaf.
+	idx *loadIndex
+
+	tickMu    sync.Mutex
+	lastTick  TickStats
+	tickCount int64
 }
 
 // NewCluster creates a cluster from the given nodes with a single range
@@ -153,7 +199,16 @@ func NewCluster(cfg ClusterConfig, nodes []*Node) (*Cluster, error) {
 	if cfg.LeaseDuration <= 0 {
 		cfg.LeaseDuration = 9 * time.Second
 	}
-	c := &Cluster{cfg: cfg, clock: cfg.Clock, hlc: hlc.NewClock(cfg.Clock)}
+	if cfg.LoadHalfLife <= 0 {
+		cfg.LoadHalfLife = 10 * time.Second
+	}
+	if cfg.MergeQPSFraction <= 0 {
+		cfg.MergeQPSFraction = 0.25
+	}
+	if cfg.MergeDelay <= 0 {
+		cfg.MergeDelay = 30 * time.Second
+	}
+	c := &Cluster{cfg: cfg, clock: cfg.Clock, hlc: hlc.NewClock(cfg.Clock), idx: newLoadIndex()}
 	c.nodesMu.nodes = make(map[NodeID]*Node)
 	c.mu.ranges = make(map[RangeID]*rangeState)
 	c.mu.nextRangeID = 1
@@ -255,6 +310,7 @@ func (c *Cluster) createRangeLocked(span keys.Span, replicas []NodeID) (*rangeSt
 		return nil, err
 	}
 	if err := c.dir.insert(rs.desc); err != nil {
+		c.idx.unregisterRange(rs.desc.RangeID, rs.desc.Replicas)
 		delete(c.mu.ranges, rs.desc.RangeID)
 		return nil, err
 	}
@@ -274,7 +330,8 @@ func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*range
 			Span:     span,
 			Replicas: append([]NodeID(nil), replicas...),
 		},
-		tsc: newTSCache(),
+		tsc:  newTSCache(),
+		load: newRangeLoad(id),
 	}
 	rs.descAtomic.Store(rs.desc)
 	sms := make([]raftlite.StateMachine, len(replicas))
@@ -301,7 +358,17 @@ func (c *Cluster) newRangeStateLocked(span keys.Span, replicas []NodeID) (*range
 	}
 	rs.group = group
 	c.mu.ranges[id] = rs
+	// Register in the maintenance index: replica aggregates plus a
+	// needs-lease entry the next tick drains.
+	c.idx.registerRange(id, replicas)
 	return rs, nil
+}
+
+// rangeByID resolves a range ID to its live state (nil once merged away).
+func (c *Cluster) rangeByID(id RangeID) *rangeState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.mu.ranges[id]
 }
 
 // rangeFor returns the range state containing key.
@@ -340,25 +407,27 @@ func (c *Cluster) SplitAt(key keys.Key) error {
 	}
 	rs.latch.Lock()
 	defer rs.latch.Unlock()
-	return c.splitLocked(rs, key)
+	_, err = c.splitLocked(rs, key)
+	return err
 }
 
-// splitLocked performs the split with rs.latch held.
-func (c *Cluster) splitLocked(rs *rangeState, key keys.Key) error {
+// splitLocked performs the split with rs.latch held. It reports whether a
+// split actually happened (false when key is already a boundary).
+func (c *Cluster) splitLocked(rs *rangeState, key keys.Key) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	desc := rs.desc
 	if key.Equal(desc.Span.Key) {
-		return nil // already a boundary
+		return false, nil // already a boundary
 	}
 	if !desc.Span.ContainsKey(key) {
-		return &kvpb.RangeKeyMismatchError{RequestedKey: key, ActualSpan: desc.Span}
+		return false, &kvpb.RangeKeyMismatchError{RequestedKey: key, ActualSpan: desc.Span}
 	}
 	rightSpan := keys.Span{Key: key.Clone(), EndKey: desc.Span.EndKey}
 	// The right side inherits the parent's replicas: data stays in place.
 	right, err := c.newRangeStateLocked(rightSpan, desc.Replicas)
 	if err != nil {
-		return err
+		return false, err
 	}
 	// The right group continues the parent's history: its data already lives
 	// in every replica's engine at the parent's applied indexes. Seed it at
@@ -378,25 +447,69 @@ func (c *Cluster) splitLocked(rs *rangeState, key keys.Key) error {
 	newLeft.Span.EndKey = key.Clone()
 	newLeft.Generation++
 	if err := c.dir.replace(desc.RangeID, newLeft, right.desc); err != nil {
+		c.idx.unregisterRange(right.desc.RangeID, right.desc.Replicas)
 		delete(c.mu.ranges, right.desc.RangeID)
-		return err
+		return false, err
 	}
 	rs.desc = newLeft
 	rs.descAtomic.Store(newLeft)
 	// The new right range's lease starts with the parent's leaseholder so
 	// serving continues without interruption.
 	if lh, ok := rs.group.Leaseholder(); ok {
-		//lint:allow faulterr lease transfer after split is best-effort; the right range serves leaseless until the next request acquires one
-		_ = right.group.AcquireLease(lh)
+		if err := right.group.AcquireLease(lh); err == nil {
+			c.idx.noteLease(right.desc.RangeID, lh, c.renewAt())
+		}
 	}
-	// Split halves the parent's accumulated size statistic.
+	// Split halves the parent's accumulated size statistic and partitions
+	// the load signal at the boundary.
 	rs.statsMu.Lock()
 	rs.writtenBytes /= 2
+	right.writtenBytes = rs.writtenBytes
 	rs.statsMu.Unlock()
-	return nil
+	rs.load.halve(key, right.load)
+	c.markChanged(rs)
+	c.markChanged(right)
+	if c.cfg.MergeEnabled {
+		// Both halves are merge candidates once the hysteresis delay
+		// passes — a split that stops being hot collapses back.
+		due := c.clock.Now().Add(c.cfg.MergeDelay)
+		c.idx.scheduleMergeCheck(desc.RangeID, due)
+		c.idx.scheduleMergeCheck(right.desc.RangeID, due)
+	}
+	return true, nil
 }
 
-// maybeSizeSplit splits rs down the middle if it has absorbed enough writes.
+// markChanged adds the range to the next tick's changed set, paying the
+// index lock only on the first change since the last drain.
+func (c *Cluster) markChanged(rs *rangeState) {
+	if rs.dirty.CompareAndSwap(false, true) {
+		c.idx.markChanged(rs.descAtomic.Load().RangeID)
+	}
+}
+
+// renewAt is when a lease granted now should be proactively renewed.
+func (c *Cluster) renewAt() time.Time {
+	return c.clock.Now().Add(c.cfg.LeaseDuration / 2)
+}
+
+// splitPoint chooses a split key for the range: the load-weighted sample
+// median when the reservoir has seen enough traffic, else a bounded scan's
+// midpoint on the leaseholder's engine. Never scans more than
+// middleKeyScanLimit rows.
+func (c *Cluster) splitPoint(rs *rangeState, leaseholder NodeID) keys.Key {
+	span := rs.descAtomic.Load().Span
+	if mid := rs.load.splitKey(span); mid != nil {
+		return mid
+	}
+	n, ok := c.Node(leaseholder)
+	if !ok {
+		return nil
+	}
+	return boundedMiddleKey(n, span)
+}
+
+// maybeSizeSplit splits rs at the load-weighted (or sampled-midpoint) key if
+// it has absorbed enough writes.
 func (c *Cluster) maybeSizeSplit(rs *rangeState, leaseholder NodeID) {
 	rs.statsMu.Lock()
 	over := rs.writtenBytes > c.cfg.SplitSizeThreshold
@@ -404,32 +517,51 @@ func (c *Cluster) maybeSizeSplit(rs *rangeState, leaseholder NodeID) {
 	if !over {
 		return
 	}
-	n, ok := c.Node(leaseholder)
-	if !ok {
-		return
-	}
-	mid := middleKey(n, rs.desc.Span)
+	mid := c.splitPoint(rs, leaseholder)
 	if mid == nil {
 		return
 	}
 	rs.latch.Lock()
 	defer rs.latch.Unlock()
-	//lint:allow faulterr size splits are opportunistic; a failed split is retried at the next threshold crossing
-	_ = c.splitLocked(rs, mid)
+	// Size splits are opportunistic; a failure is retried at the next
+	// threshold crossing.
+	if did, err := c.splitLocked(rs, mid); err == nil && did {
+		c.cfg.RangeMetrics.sizeSplit()
+		c.rangeEvent(mid, "split.size")
+	}
 }
 
-// middleKey finds a user key roughly halfway through the span's data on the
-// given node's engine.
-func middleKey(n *Node, span keys.Span) keys.Key {
-	res, err := mvcc.Scan(n.Engine(), span, hlc.Timestamp{WallTime: 1<<62 - 1}, 0, 0)
-	if err != nil || len(res.Rows) < 2 {
-		return nil
+// maybeLoadSplit splits rs at the load-weighted sample median once its
+// decayed QPS crosses the configured threshold.
+func (c *Cluster) maybeLoadSplit(rs *rangeState, leaseholder NodeID) {
+	thr := c.cfg.LoadSplitQPSThreshold
+	if thr <= 0 {
+		return
 	}
-	mid := res.Rows[len(res.Rows)/2].Key
-	if mid.Equal(span.Key) {
-		return nil
+	if rs.load.qps(c.clock.Now(), c.cfg.LoadHalfLife) < thr {
+		return
 	}
-	return mid
+	mid := rs.load.splitKey(rs.descAtomic.Load().Span)
+	if mid == nil {
+		return // single hot key or not enough samples: nothing to split
+	}
+	rs.latch.Lock()
+	defer rs.latch.Unlock()
+	if did, err := c.splitLocked(rs, mid); err == nil && did {
+		c.cfg.RangeMetrics.loadSplit()
+		c.rangeEvent(mid, "split.load")
+	}
+}
+
+// rangeEvent forwards a range-management decision to the per-tenant
+// observability plane (no-op without one).
+func (c *Cluster) rangeEvent(key keys.Key, kind string) {
+	if c.cfg.Obs == nil {
+		return
+	}
+	if tid, _, ok := keys.DecodeTenantPrefix(key); ok {
+		c.cfg.Obs.RangeEvent(tid, kind)
+	}
 }
 
 // LeaseCounts returns the number of valid range leases held by each node —
@@ -451,67 +583,433 @@ func (c *Cluster) LeaseCounts() map[NodeID]int {
 	return out
 }
 
+// NodeLeaseLoads returns each node's effective load — decayed leaseholder
+// QPS-weight inflated by queueing occupancy, the signal the load-based
+// lease and replica balancers compare. Pairs with LeaseCounts the way
+// QPS-weighted placement pairs with count balancing.
+func (c *Cluster) NodeLeaseLoads() map[NodeID]float64 {
+	now := c.clock.Now()
+	out := make(map[NodeID]float64)
+	for _, n := range c.Nodes() {
+		out[n.id] = c.effectiveLoad(n, now, c.cfg.LoadHalfLife)
+	}
+	return out
+}
+
+// RangeLoadInfo describes one range's placement and load signal — the
+// per-range view behind load-management debugging and benchmarks.
+type RangeLoadInfo struct {
+	RangeID     RangeID
+	Start       keys.Key
+	Leaseholder NodeID // 0 if leaderless
+	QPS         float64
+}
+
+// RangeLoads returns every range's leaseholder and decayed-QPS estimate,
+// ordered by RangeID.
+func (c *Cluster) RangeLoads() []RangeLoadInfo {
+	now := c.clock.Now()
+	out := make([]RangeLoadInfo, 0, 16)
+	for _, rs := range c.rangesByID() {
+		info := RangeLoadInfo{
+			RangeID: rs.desc.RangeID,
+			Start:   rs.descAtomic.Load().Span.Key,
+			QPS:     rs.load.qps(now, c.cfg.LoadHalfLife),
+		}
+		if lh, ok := rs.group.Leaseholder(); ok {
+			info.Leaseholder = lh
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
 // Tick runs periodic cluster maintenance: node ticks (AIMD, token refills,
-// capacity estimation), lease acquisition for leaderless ranges, lease
-// extension for healthy holders, and lease rebalancing toward an even spread.
+// capacity estimation), lease upkeep, cold-range merge checks, and lease
+// rebalancing. Range work is driven entirely by the maintenance index —
+// needs-lease drains, dead-holder lease sets, due renewals, and the
+// changed-since-last-tick set — so an idle cluster's tick visits no ranges
+// at all, regardless of how many exist.
 func (c *Cluster) Tick() {
 	for _, n := range c.Nodes() {
 		n.Tick()
 	}
-	// RangeID order, not map order: lease maintenance triggers catch-up
-	// applies, and those must consult fault-injection sites in a
-	// deterministic sequence for seeded chaos runs to reproduce.
-	ranges := c.rangesByID()
+	now := c.clock.Now()
+	var stats TickStats
 
-	for _, rs := range ranges {
-		if lh, ok := rs.group.Leaseholder(); ok {
-			if n, exists := c.Node(lh); exists && n.Live() {
-				_ = rs.group.ExtendLease(lh)
+	// Leaderless ranges (new splits/merges, failed prior attempts). All
+	// index drains return RangeID order, not map order: lease maintenance
+	// triggers catch-up applies, and those must consult fault-injection
+	// sites in a deterministic sequence for seeded chaos runs to reproduce.
+	for _, id := range c.idx.drainNeedsLease() {
+		if rs := c.rangeByID(id); rs != nil {
+			stats.RangesVisited++
+			c.ensureLease(rs, &stats)
+		}
+	}
+
+	// Leases recorded on nodes that are no longer live: sweep them to a
+	// live replica. Visits only the dead nodes' lease sets.
+	c.nodesMu.RLock()
+	nodeIDs := append([]NodeID(nil), c.nodesMu.nodeOrder...)
+	c.nodesMu.RUnlock()
+	for _, nid := range nodeIDs {
+		if c.liveness(nid) {
+			continue
+		}
+		for _, id := range c.idx.leasesOf(nid) {
+			if rs := c.rangeByID(id); rs != nil {
+				stats.RangesVisited++
+				c.ensureLease(rs, &stats)
+			}
+		}
+	}
+
+	// Proactive renewals at the lease half-life.
+	for _, id := range c.idx.dueRenewals(now) {
+		if rs := c.rangeByID(id); rs != nil {
+			stats.RangesVisited++
+			c.ensureLease(rs, &stats)
+		}
+	}
+
+	// Ranges whose load moved since the last tick: clear their dirty flags
+	// and queue cold ones for a merge re-check after the hysteresis delay.
+	changed := c.idx.drainChanged()
+	for _, id := range changed {
+		rs := c.rangeByID(id)
+		if rs == nil {
+			continue
+		}
+		stats.RangesVisited++
+		rs.dirty.Store(false)
+		if c.cfg.MergeEnabled && c.isMergeCold(rs, now) {
+			c.idx.scheduleMergeCheck(id, now.Add(c.cfg.MergeDelay))
+		}
+	}
+
+	// Cold-range merges whose hysteresis delay expired and that are still
+	// cold get merged into their right neighbor.
+	if c.cfg.MergeEnabled {
+		for _, id := range c.idx.dueMergeChecks(now) {
+			rs := c.rangeByID(id)
+			if rs == nil {
 				continue
 			}
-		}
-		// Leaderless (or holder dead): the first live replica takes over
-		// (AcquireLease applies any entries it missed before granting).
-		for _, nid := range rs.group.Replicas() {
-			if c.liveness(nid) {
-				if err := rs.group.AcquireLease(nid); err == nil {
-					break
-				}
+			stats.RangesVisited++
+			if !c.isMergeCold(rs, now) {
+				// Still hot or large: keep watching at the hysteresis
+				// cadence rather than dropping the candidate.
+				c.idx.scheduleMergeCheck(id, now.Add(c.cfg.MergeDelay))
+				continue
+			}
+			if did, err := c.mergeRight(rs); err == nil && did {
+				stats.Merges++
 			}
 		}
 	}
-	c.rebalanceLeases(ranges)
+
+	c.rebalanceLeases(now, changed, &stats)
+
+	c.tickMu.Lock()
+	c.lastTick = stats
+	c.tickCount++
+	c.tickMu.Unlock()
 }
 
-// rebalanceLeases moves leases from overloaded holders toward live nodes
-// with fewer leases (mechanism (a) of §5.1.1, operating at a longer time
-// scale than admission).
-func (c *Cluster) rebalanceLeases(ranges []*rangeState) {
-	counts := make(map[NodeID]int)
-	for _, rs := range ranges {
-		if lh, ok := rs.group.Leaseholder(); ok {
-			counts[lh]++
+// LastTickStats reports what the most recent Tick did — the O(changed)
+// evidence the fleet benchmark and tests gate on.
+func (c *Cluster) LastTickStats() TickStats {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+	return c.lastTick
+}
+
+// ensureLease makes sure the range has a live leaseholder, preferring the
+// current holder (extend) and falling back to the first live replica
+// (AcquireLease applies any entries the taker missed before granting). The
+// outcome is recorded in the maintenance index either way.
+func (c *Cluster) ensureLease(rs *rangeState, stats *TickStats) {
+	id := rs.descAtomic.Load().RangeID
+	if lh, ok := rs.group.Leaseholder(); ok {
+		if n, exists := c.Node(lh); exists && n.Live() {
+			stats.LeaseOps++
+			if err := rs.group.ExtendLease(lh); err == nil {
+				c.idx.noteLease(id, lh, c.renewAt())
+				return
+			}
 		}
 	}
-	for _, rs := range ranges {
+	for _, nid := range rs.group.Replicas() {
+		if c.liveness(nid) {
+			stats.LeaseOps++
+			if err := rs.group.AcquireLease(nid); err == nil {
+				c.idx.noteLease(id, nid, c.renewAt())
+				return
+			}
+		}
+	}
+	// No live replica could take the lease; retry next tick.
+	c.idx.markNeedsLease(id)
+}
+
+// isMergeCold reports whether the range's load and size sit below the merge
+// hysteresis thresholds.
+func (c *Cluster) isMergeCold(rs *rangeState, now time.Time) bool {
+	rs.statsMu.Lock()
+	small := rs.writtenBytes <= c.cfg.SplitSizeThreshold/2
+	rs.statsMu.Unlock()
+	if !small {
+		return false
+	}
+	if c.cfg.LoadSplitQPSThreshold <= 0 {
+		// No QPS threshold configured: size alone decides.
+		return true
+	}
+	return rs.load.qps(now, c.cfg.LoadHalfLife) < c.cfg.LoadSplitQPSThreshold*c.cfg.MergeQPSFraction
+}
+
+// rebalanceLeases moves leases toward an even spread (mechanism (a) of
+// §5.1.1, operating at a longer time scale than admission). With
+// LoadRebalancing enabled a first pass moves the hottest changed ranges off
+// QPS-overloaded nodes; the count pass then evens out lease counts using the
+// index aggregates, walking only the most-loaded node's lease set.
+func (c *Cluster) rebalanceLeases(now time.Time, changed []RangeID, stats *TickStats) {
+	c.nodesMu.RLock()
+	liveIDs := make([]NodeID, 0, len(c.nodesMu.nodeOrder))
+	for _, nid := range c.nodesMu.nodeOrder {
+		if n := c.nodesMu.nodes[nid]; n != nil && n.Live() {
+			liveIDs = append(liveIDs, nid)
+		}
+	}
+	c.nodesMu.RUnlock()
+	if len(liveIDs) < 2 {
+		return
+	}
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+	halfLife := c.cfg.LoadHalfLife
+
+	if c.cfg.LoadRebalancing {
+		c.rebalanceLeasesByLoad(now, changed, halfLife, stats)
+	}
+
+	// Count pass: even the spread using the index's O(1) per-node counts.
+	counts := make(map[NodeID]int, len(liveIDs))
+	for _, nid := range liveIDs {
+		counts[nid] = c.idx.leaseCount(nid)
+	}
+	for iter := 0; iter < 128; iter++ {
+		maxN, minN := liveIDs[0], liveIDs[0]
+		for _, nid := range liveIDs[1:] {
+			if counts[nid] > counts[maxN] {
+				maxN = nid
+			}
+			if counts[nid] < counts[minN] {
+				minN = nid
+			}
+		}
+		if counts[maxN]-counts[minN] <= 1 {
+			return
+		}
+		moved := false
+		for _, id := range c.idx.leasesOf(maxN) {
+			rs := c.rangeByID(id)
+			if rs == nil {
+				continue
+			}
+			if c.cfg.LoadRebalancing && rs.load.weightAt(now, halfLife) >= loadSignificanceWeight {
+				continue // the load pass owns hot ranges
+			}
+			lh, ok := rs.group.Leaseholder()
+			if !ok || lh != maxN {
+				continue
+			}
+			best := lh
+			for _, nid := range rs.group.Replicas() {
+				if c.liveness(nid) && counts[nid] < counts[best] {
+					best = nid
+				}
+			}
+			if best == lh || counts[lh]-counts[best] <= 1 {
+				continue
+			}
+			// TransferLease catches the target up before handing over.
+			if err := rs.group.TransferLease(lh, best); err == nil {
+				c.idx.noteLease(id, best, c.renewAt())
+				counts[lh]--
+				counts[best]++
+				stats.LeaseTransfers++
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// effectiveLoad is a node's placement-comparable load: delivered QPS-weight
+// inflated by smoothed per-vCPU occupancy. A node pushed past capacity
+// delivers no more QPS — the overload shows up only as queue growth — so
+// comparing delivered weight alone under-reports saturated nodes and the
+// balancer converges to a placement that still drowns them. The occupancy
+// term (Little's law over the decayed batch node-seconds) keeps growing
+// with congestion and restores the signal.
+func (c *Cluster) effectiveLoad(n *Node, now time.Time, halfLife time.Duration) float64 {
+	eff, _ := c.nodeLoad(n, now, halfLife)
+	return eff
+}
+
+// nodeLoad returns a node's effective load and the inflation factor applied
+// to its delivered weight. The factor is capped: occupancy is a noisy
+// instantaneous-ish signal, and an uncapped multiplier would let one
+// congested sample dominate every placement comparison for a half-life.
+func (c *Cluster) nodeLoad(n *Node, now time.Time, halfLife time.Duration) (eff, inflation float64) {
+	raw := n.leaseLoad.value(now, halfLife)
+	inflation = 1.0
+	if halfLife > 0 {
+		occupancy := n.waitLoad.value(now, halfLife) * math.Ln2 / halfLife.Seconds()
+		inflation += occupancy / float64(n.vcpus)
+		if inflation > 4 {
+			inflation = 4
+		}
+	}
+	return raw * inflation, inflation
+}
+
+// rebalanceLeasesByLoad moves the hottest recently-changed ranges' leases
+// off nodes whose decayed QPS load dominates a peer's. A lease transfer to a
+// colder replica peer is the cheap first choice; when every peer is hot too
+// — a split-up hot range's pieces all inherit the parent's replica set, so
+// the peers heat up together — the leaseholder's replica moves to the
+// globally coldest non-member node instead, and the lease travels with it.
+func (c *Cluster) rebalanceLeasesByLoad(now time.Time, changed []RangeID, halfLife time.Duration, stats *TickStats) {
+	const maxMovesPerTick = 4
+	const maxReplicaMovesPerTick = 2
+	type cand struct {
+		id RangeID
+		w  float64
+	}
+	cands := make([]cand, 0, len(changed))
+	for _, id := range changed {
+		rs := c.rangeByID(id)
+		if rs == nil {
+			continue
+		}
+		if w := rs.load.weightAt(now, halfLife); w >= loadRebalanceMinWeight {
+			cands = append(cands, cand{id: id, w: w})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		return cands[i].id < cands[j].id
+	})
+	moves := 0
+	for _, cd := range cands {
+		if moves >= maxMovesPerTick {
+			return
+		}
+		rs := c.rangeByID(cd.id)
+		if rs == nil {
+			continue
+		}
+		rs.statsMu.Lock()
+		cooling := !rs.loadMoveAt.IsZero() && now.Sub(rs.loadMoveAt) < 3*halfLife
+		rs.statsMu.Unlock()
+		if cooling {
+			continue
+		}
 		lh, ok := rs.group.Leaseholder()
 		if !ok {
 			continue
 		}
-		// Find the live replica with the fewest leases.
-		best := lh
+		lhNode, ok := c.Node(lh)
+		if !ok || !lhNode.Live() {
+			continue
+		}
+		lhLoad, lhInfl := c.nodeLoad(lhNode, now, halfLife)
+		// The candidate's weight is delivered QPS too, deflated by the same
+		// saturation that deflates its node's counter: compare hysteresis in
+		// the inflated space or every inflated diff clears a raw threshold
+		// and the balancer thrashes.
+		wEff := cd.w * lhInfl
+		best, bestLoad := lh, lhLoad
+		var bestNode *Node
 		for _, nid := range rs.group.Replicas() {
-			if c.liveness(nid) && counts[nid] < counts[best] {
-				best = nid
+			if nid == lh || !c.liveness(nid) {
+				continue
+			}
+			n, exists := c.Node(nid)
+			if !exists {
+				continue
+			}
+			if l := c.effectiveLoad(n, now, halfLife); l < bestLoad {
+				best, bestLoad, bestNode = nid, l, n
 			}
 		}
-		if best != lh && counts[lh]-counts[best] > 1 {
-			// TransferLease catches the target up before handing over.
-			if err := rs.group.TransferLease(lh, best); err == nil {
-				counts[lh]--
-				counts[best]++
+		// Move only when the holder's load exceeds the target's by more
+		// than the range's own weight — otherwise the transfer would just
+		// swap which node is hot (thrash).
+		// Two-part hysteresis: the holder must dominate the target by the
+		// candidate's own inflated weight (or the move just swaps which node
+		// is hot) and by a 20% multiplicative margin (or late-stage noise
+		// keeps the balancer shuffling proportionally-equal nodes forever).
+		if best != lh && lhLoad-bestLoad > 1.5*wEff && lhLoad > 1.2*bestLoad {
+			if err := rs.group.TransferLease(lh, best); err != nil {
+				continue
+			}
+			c.idx.noteLease(cd.id, best, c.renewAt())
+			rs.statsMu.Lock()
+			rs.loadMoveAt = now
+			rs.statsMu.Unlock()
+			// Credit the target now; let the source decay to its reduced
+			// traffic naturally. Debiting the source would make it look
+			// colder than its true load for a half-life, attracting a
+			// compensating move and oscillating load between node pairs —
+			// overstating both sides instead pauses the balancer until the
+			// counters re-converge on observed traffic.
+			bestNode.leaseLoad.add(now, halfLife, cd.w)
+			stats.LoadLeaseTransfers++
+			c.cfg.RangeMetrics.loadLeaseTransfer()
+			c.rangeEvent(rs.descAtomic.Load().Span.Key, "lease.load")
+			moves++
+			continue
+		}
+		// No replica peer can absorb the load. Look for a colder node
+		// outside the replica set: move the leaseholder's replica there
+		// (MoveReplica re-grants the departing holder's lease at the
+		// destination), bounded tighter than lease transfers because a
+		// replica move copies span data.
+		if stats.LoadReplicaMoves >= maxReplicaMovesPerTick {
+			continue
+		}
+		coldest, coldLoad := NodeID(0), lhLoad
+		var coldNode *Node
+		for _, n := range c.Nodes() {
+			if n.id == lh || !n.Live() || hasReplica(rs, n.id) {
+				continue
+			}
+			if l := c.effectiveLoad(n, now, halfLife); l < coldLoad {
+				coldest, coldLoad, coldNode = n.id, l, n
 			}
 		}
+		if coldest == 0 || lhLoad-coldLoad <= 1.5*wEff || lhLoad <= 1.2*coldLoad {
+			continue
+		}
+		if err := c.MoveReplica(cd.id, lh, coldest); err != nil {
+			continue
+		}
+		rs.statsMu.Lock()
+		rs.loadMoveAt = now
+		rs.statsMu.Unlock()
+		coldNode.leaseLoad.add(now, halfLife, cd.w)
+		stats.LoadReplicaMoves++
+		c.cfg.RangeMetrics.loadReplicaMove()
+		c.rangeEvent(rs.descAtomic.Load().Span.Key, "replica.load")
+		moves++
 	}
 }
 
@@ -724,6 +1222,7 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 				}
 				return nil, &kvpb.NotLeaseholderError{RangeID: int64(rs.desc.RangeID)}
 			}
+			c.idx.noteLease(rs.desc.RangeID, nodeID, c.renewAt())
 		} else if lh != nodeID {
 			return nil, &kvpb.NotLeaseholderError{RangeID: int64(rs.desc.RangeID), Leaseholder: lh}
 		}
@@ -752,7 +1251,22 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 	if evalErr != nil {
 		return nil, evalErr
 	}
-	// Size-based split check runs outside the range latch.
+	// Load accounting: decay-and-add the range and leaseholder counters,
+	// sample the first request key into the split reservoir, and flag the
+	// range for the next maintenance tick. Split checks run outside the
+	// range latch.
+	var writeBytes int64
+	if !ba.IsReadOnly() {
+		for _, r := range ba.Requests {
+			writeBytes += int64(len(r.Key) + len(r.Value))
+		}
+	}
+	now := c.clock.Now()
+	rs.load.record(now, c.cfg.LoadHalfLife, len(ba.Requests), writeBytes, ba.Requests[0].Key)
+	n.leaseLoad.add(now, c.cfg.LoadHalfLife, float64(len(ba.Requests)))
+	n.waitLoad.add(now, c.cfg.LoadHalfLife, now.Sub(admitStart).Seconds())
+	c.markChanged(rs)
+	c.maybeLoadSplit(rs, nodeID)
 	if !ba.IsReadOnly() {
 		c.maybeSizeSplit(rs, nodeID)
 	}
@@ -760,7 +1274,7 @@ func (c *Cluster) Batch(ctx context.Context, nodeID NodeID, id Identity, ba *kvp
 }
 
 func hasReplica(rs *rangeState, nodeID NodeID) bool {
-	for _, r := range rs.desc.Replicas {
+	for _, r := range rs.descAtomic.Load().Replicas {
 		if r == nodeID {
 			return true
 		}

@@ -76,47 +76,98 @@ func (m *metaDirectory) all() []*RangeDescriptor {
 	return out
 }
 
-// insert adds a descriptor; spans must not overlap existing ones.
+// next returns the descriptor whose span starts exactly at start — the right
+// neighbor of a range ending there — or nil if no such range exists.
+func (m *metaDirectory) next(start keys.Key) *RangeDescriptor {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i := m.searchLocked(start)
+	if i < len(m.byStart) && m.byStart[i].Span.Key.Equal(start) {
+		return m.byStart[i].clone()
+	}
+	return nil
+}
+
+// searchLocked returns the index of the first descriptor whose start key is
+// >= k (binary search; byStart is sorted by start key at all times).
+func (m *metaDirectory) searchLocked(k keys.Key) int {
+	return sort.Search(len(m.byStart), func(i int) bool {
+		return !m.byStart[i].Span.Key.Less(k)
+	})
+}
+
+// insert adds a descriptor; spans must not overlap existing ones. The
+// descriptor is spliced into position with a binary search — no full re-sort,
+// so building a fleet of thousands of ranges stays O(n log n) total rather
+// than O(n² log n).
 func (m *metaDirectory) insert(d *RangeDescriptor) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, existing := range m.byStart {
-		if existing.Span.Overlaps(d.Span) {
-			return fmt.Errorf("kvserver: descriptor %s overlaps %s", d, existing)
-		}
+	i := m.searchLocked(d.Span.Key)
+	// Only the neighbors can overlap a candidate that sorts at position i.
+	if i > 0 && m.byStart[i-1].Span.Overlaps(d.Span) {
+		return fmt.Errorf("kvserver: descriptor %s overlaps %s", d, m.byStart[i-1])
 	}
-	m.byStart = append(m.byStart, d.clone())
-	sort.Slice(m.byStart, func(i, j int) bool {
-		return m.byStart[i].Span.Key.Less(m.byStart[j].Span.Key)
-	})
+	if i < len(m.byStart) && m.byStart[i].Span.Overlaps(d.Span) {
+		return fmt.Errorf("kvserver: descriptor %s overlaps %s", d, m.byStart[i])
+	}
+	m.byStart = append(m.byStart, nil)
+	copy(m.byStart[i+1:], m.byStart[i:])
+	m.byStart[i] = d.clone()
 	return nil
 }
 
 // replace atomically swaps old for the given descriptors (the split commit).
+// The replacements are spliced into the vacated slot in key order.
 func (m *metaDirectory) replace(old RangeID, with ...*RangeDescriptor) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	idx := -1
-	for i, d := range m.byStart {
-		if d.RangeID == old {
-			idx = i
-			break
-		}
-	}
+	idx := m.indexOfLocked(old)
 	if idx == -1 {
 		return fmt.Errorf("kvserver: range %d not in directory", old)
 	}
-	out := make([]*RangeDescriptor, 0, len(m.byStart)-1+len(with))
-	out = append(out, m.byStart[:idx]...)
-	out = append(out, m.byStart[idx+1:]...)
-	for _, d := range with {
-		out = append(out, d.clone())
+	repl := make([]*RangeDescriptor, len(with))
+	for i, d := range with {
+		repl[i] = d.clone()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return out[i].Span.Key.Less(out[j].Span.Key)
+	sort.Slice(repl, func(i, j int) bool {
+		return repl[i].Span.Key.Less(repl[j].Span.Key)
 	})
+	out := make([]*RangeDescriptor, 0, len(m.byStart)-1+len(repl))
+	out = append(out, m.byStart[:idx]...)
+	out = append(out, repl...)
+	out = append(out, m.byStart[idx+1:]...)
 	m.byStart = out
 	return nil
+}
+
+// mergeReplace atomically swaps two adjacent descriptors for their union (the
+// merge commit). It verifies adjacency under the directory lock so a racing
+// split can never leave the directory with a gap or an overlap.
+func (m *metaDirectory) mergeReplace(left, right RangeID, with *RangeDescriptor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	li := m.indexOfLocked(left)
+	if li == -1 || li+1 >= len(m.byStart) || m.byStart[li+1].RangeID != right {
+		return fmt.Errorf("kvserver: ranges %d and %d are not adjacent in the directory", left, right)
+	}
+	ld, rd := m.byStart[li], m.byStart[li+1]
+	if !with.Span.Key.Equal(ld.Span.Key) || !with.Span.EndKey.Equal(rd.Span.EndKey) {
+		return fmt.Errorf("kvserver: merged span %s does not cover %s + %s", with.Span, ld.Span, rd.Span)
+	}
+	m.byStart[li] = with.clone()
+	m.byStart = append(m.byStart[:li+1], m.byStart[li+2:]...)
+	return nil
+}
+
+// indexOfLocked finds a descriptor's position by RangeID.
+func (m *metaDirectory) indexOfLocked(id RangeID) int {
+	for i, d := range m.byStart {
+		if d.RangeID == id {
+			return i
+		}
+	}
+	return -1
 }
 
 func (d *RangeDescriptor) clone() *RangeDescriptor {

@@ -1,0 +1,260 @@
+package kvserver
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"crdbserverless/internal/hlc"
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/mvcc"
+)
+
+// Per-range load tracking: exponentially decaying request/write-byte
+// counters plus a key-sample reservoir, the signal behind load-based
+// splitting, cold-range merging, and QPS-weighted lease placement.
+//
+// Decay is clock-driven, not tick-driven: a counter carries the timestamp of
+// its last update, and every read or update first scales the stored weight
+// by 2^(-dt/halfLife). Under a seeded (manual) clock the decay factors are
+// exact functions of the op sequence, so every decision derived from load is
+// deterministic and chaos replays stay byte-identical. The weight-to-rate
+// conversion is qps = weight * ln2 / halfLife: a steady arrival rate r
+// converges to weight r*halfLife/ln2, so the estimate reads in requests per
+// second once the counter has seen about one half-life of traffic.
+
+const (
+	// loadSampleCap bounds the per-range key reservoir.
+	loadSampleCap = 32
+	// loadSplitMinSamples is the minimum reservoir size before a sampled
+	// split key is trusted; below it the bounded-scan fallback runs.
+	loadSplitMinSamples = 8
+	// middleKeyScanLimit bounds the fallback split-key scan. The old
+	// middleKey materialized every row of the span; the fallback reads at
+	// most this many rows and takes their midpoint.
+	middleKeyScanLimit = 256
+	// loadSignificanceWeight is the decayed weight below which a range is
+	// treated as idle: the count-based lease balancer ignores hotter ranges
+	// (the load-aware pass owns them) and the load-aware pass ignores colder
+	// ones.
+	loadSignificanceWeight = 1.0
+	// loadRebalanceMinWeight is the decayed weight a range must carry before
+	// the load balancer will move its lease. Moving a barely-warm range costs
+	// a NotLeaseholder retry storm and shifts almost no load; those ranges
+	// are left to decay back under the count balancer's threshold instead.
+	loadRebalanceMinWeight = 8.0
+)
+
+// decayedCounter is an exponentially decaying accumulator with lazy,
+// clock-driven decay. The zero value is ready to use.
+type decayedCounter struct {
+	mu     sync.Mutex
+	weight float64
+	last   time.Time
+}
+
+// decayLocked scales the stored weight down to now.
+func (d *decayedCounter) decayLocked(now time.Time, halfLife time.Duration) {
+	if !d.last.IsZero() && halfLife > 0 {
+		if dt := now.Sub(d.last); dt > 0 {
+			d.weight *= math.Exp2(-float64(dt) / float64(halfLife))
+		}
+	}
+	if now.After(d.last) {
+		d.last = now
+	}
+}
+
+// add decays to now, then adds delta (which may be negative — lease
+// transfers move a range's weight between node accumulators). The weight is
+// clamped at zero: transfer bookkeeping is approximate and must never drive
+// a node's load negative.
+func (d *decayedCounter) add(now time.Time, halfLife time.Duration, delta float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.decayLocked(now, halfLife)
+	d.weight += delta
+	if d.weight < 0 {
+		d.weight = 0
+	}
+}
+
+// value returns the weight decayed to now.
+func (d *decayedCounter) value(now time.Time, halfLife time.Duration) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.decayLocked(now, halfLife)
+	return d.weight
+}
+
+// splitmix64 is an 8-byte deterministic PRNG (Steele et al.'s SplitMix64)
+// for reservoir admission decisions. A math/rand source would cost ~5KB per
+// range — ruinous at fleet scale where suspended tenants keep their range
+// state resident — and reservoir sampling needs nothing stronger.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rangeLoad is one range's load signal: decayed request and write-byte
+// weights plus a reservoir of request start keys. The reservoir's RNG is
+// seeded by RangeID, so under a single-threaded deterministic workload the
+// sampled split key is a pure function of the op sequence.
+type rangeLoad struct {
+	mu          sync.Mutex
+	weight      float64 // decayed request count
+	writeWeight float64 // decayed logical write bytes
+	last        time.Time
+	samples     []keys.Key
+	seen        int64
+	rng         splitmix64
+}
+
+func newRangeLoad(id RangeID) *rangeLoad {
+	return &rangeLoad{rng: splitmix64(id)}
+}
+
+func (l *rangeLoad) decayLocked(now time.Time, halfLife time.Duration) {
+	if !l.last.IsZero() && halfLife > 0 {
+		if dt := now.Sub(l.last); dt > 0 {
+			f := math.Exp2(-float64(dt) / float64(halfLife))
+			l.weight *= f
+			l.writeWeight *= f
+		}
+	}
+	if now.After(l.last) {
+		l.last = now
+	}
+}
+
+// record absorbs one batch: requests request-units, writeBytes logical write
+// bytes, and one sampled key (nil to skip sampling).
+func (l *rangeLoad) record(now time.Time, halfLife time.Duration, requests int, writeBytes int64, sample keys.Key) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.decayLocked(now, halfLife)
+	l.weight += float64(requests)
+	l.writeWeight += float64(writeBytes)
+	if sample == nil {
+		return
+	}
+	l.seen++
+	if len(l.samples) < loadSampleCap {
+		l.samples = append(l.samples, sample.Clone())
+	} else if j := l.rng.next() % uint64(l.seen); j < loadSampleCap {
+		l.samples[j] = sample.Clone()
+	}
+}
+
+// weightAt returns the decayed request weight at now.
+func (l *rangeLoad) weightAt(now time.Time, halfLife time.Duration) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.decayLocked(now, halfLife)
+	return l.weight
+}
+
+// qps returns the decayed requests-per-second estimate at now.
+func (l *rangeLoad) qps(now time.Time, halfLife time.Duration) float64 {
+	if halfLife <= 0 {
+		return 0
+	}
+	return l.weightAt(now, halfLife) * math.Ln2 / halfLife.Seconds()
+}
+
+// splitKey returns the load-weighted split point for span: the median of the
+// sampled request keys, which bisects the recent load rather than the
+// keyspace. Returns nil when the reservoir is too small or every sample sits
+// on the span start (a single hot key cannot be split).
+func (l *rangeLoad) splitKey(span keys.Span) keys.Key {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) < loadSplitMinSamples {
+		return nil
+	}
+	sorted := make([]keys.Key, 0, len(l.samples))
+	for _, k := range l.samples {
+		if span.ContainsKey(k) {
+			sorted = append(sorted, k)
+		}
+	}
+	if len(sorted) < loadSplitMinSamples {
+		return nil
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	// Walk forward from the median to the first key that is a legal
+	// boundary (strictly inside the span).
+	for i := len(sorted) / 2; i < len(sorted); i++ {
+		if span.Key.Less(sorted[i]) {
+			return sorted[i].Clone()
+		}
+	}
+	return nil
+}
+
+// halve splits the load signal in two at key: the receiver keeps the weight
+// and samples of the left half, the returned rangeLoad carries the right
+// half. Mirrors what splitting does to writtenBytes.
+func (l *rangeLoad) halve(key keys.Key, right *rangeLoad) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.weight /= 2
+	l.writeWeight /= 2
+	right.mu.Lock()
+	right.weight = l.weight
+	right.writeWeight = l.writeWeight
+	right.last = l.last
+	var lo, hi []keys.Key
+	for _, k := range l.samples {
+		if k.Less(key) {
+			lo = append(lo, k)
+		} else {
+			hi = append(hi, k)
+		}
+	}
+	l.samples, l.seen = lo, int64(len(lo))
+	right.samples, right.seen = hi, int64(len(hi))
+	right.mu.Unlock()
+}
+
+// absorb folds other's load into l (the merge counterpart of halve).
+func (l *rangeLoad) absorb(other *rangeLoad) {
+	other.mu.Lock()
+	ow, owb, osamples, olast := other.weight, other.writeWeight, other.samples, other.last
+	other.mu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if olast.After(l.last) {
+		l.decayLocked(olast, 0) // only bumps last; weights already decayed lazily
+	}
+	l.weight += ow
+	l.writeWeight += owb
+	for _, k := range osamples {
+		if len(l.samples) < loadSampleCap {
+			l.samples = append(l.samples, k)
+		}
+	}
+	l.seen += int64(len(osamples))
+}
+
+// boundedMiddleKey is the fallback split point for ranges with no load
+// samples yet: a bounded scan (at most middleKeyScanLimit rows, at the
+// maximum timestamp) whose middle row becomes the boundary. Unlike the old
+// middleKey it never materializes the whole span.
+func boundedMiddleKey(n *Node, span keys.Span) keys.Key {
+	res, err := mvcc.Scan(n.Engine(), span, hlc.Timestamp{WallTime: 1<<62 - 1}, 0, middleKeyScanLimit)
+	if err != nil || len(res.Rows) < 2 {
+		return nil
+	}
+	mid := res.Rows[len(res.Rows)/2].Key
+	if mid.Equal(span.Key) {
+		return nil
+	}
+	return mid
+}

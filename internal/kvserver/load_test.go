@@ -1,0 +1,690 @@
+package kvserver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"crdbserverless/internal/keys"
+	"crdbserverless/internal/kvpb"
+	"crdbserverless/internal/metric"
+	"crdbserverless/internal/timeutil"
+)
+
+// newLoadCluster builds a cluster with an explicit ClusterConfig (unlike
+// newTestCluster, which pins the defaults). A nil clock means real time.
+func newLoadCluster(t testing.TB, n int, cfg ClusterConfig, clock timeutil.Clock) *Cluster {
+	t.Helper()
+	cheap := CostConfig{
+		ReadBatchOverhead:  time.Nanosecond,
+		WriteBatchOverhead: time.Nanosecond,
+		ReadRequestCost:    time.Nanosecond,
+		WriteRequestCost:   time.Nanosecond,
+	}
+	var nodes []*Node
+	for i := 1; i <= n; i++ {
+		nodes = append(nodes, NewNode(NodeConfig{ID: NodeID(i), VCPUs: 2, Cost: cheap, Clock: clock}))
+	}
+	cfg.Clock = clock
+	c, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestDecayedCounterHalfLife(t *testing.T) {
+	var d decayedCounter
+	t0 := time.Unix(100, 0)
+	hl := 10 * time.Second
+	d.add(t0, hl, 100)
+	if got := d.value(t0, hl); got != 100 {
+		t.Fatalf("undecayed value = %v, want 100", got)
+	}
+	if got := d.value(t0.Add(hl), hl); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("after one half-life value = %v, want 50", got)
+	}
+	if got := d.value(t0.Add(2*hl), hl); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("after two half-lives value = %v, want 25", got)
+	}
+	// Transfer bookkeeping may subtract more than the decayed weight holds;
+	// the counter clamps at zero rather than going negative.
+	d.add(t0.Add(2*hl), hl, -1000)
+	if got := d.value(t0.Add(2*hl), hl); got != 0 {
+		t.Fatalf("clamped value = %v, want 0", got)
+	}
+}
+
+func TestRangeLoadQPSEstimate(t *testing.T) {
+	l := newRangeLoad(1)
+	t0 := time.Unix(0, 0)
+	hl := 10 * time.Second
+	l.record(t0, hl, 100, 0, nil)
+	// qps = weight * ln2 / halfLife.Seconds().
+	want := 100 * math.Ln2 / 10
+	if got := l.qps(t0, hl); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("qps = %v, want %v", got, want)
+	}
+	if got := l.qps(t0.Add(hl), hl); math.Abs(got-want/2) > 1e-9 {
+		t.Fatalf("decayed qps = %v, want %v", got, want/2)
+	}
+	if got := l.qps(t0, 0); got != 0 {
+		t.Fatalf("qps with zero half-life = %v, want 0", got)
+	}
+}
+
+func TestRangeLoadSplitKey(t *testing.T) {
+	span := keys.MakeTenantSpan(2)
+	hl := 10 * time.Second
+	now := time.Unix(0, 0)
+
+	l := newRangeLoad(1)
+	for i := 0; i < 10; i++ {
+		l.record(now, hl, 1, 0, tenantKey(2, fmt.Sprintf("k%02d", i)))
+	}
+	// 10 sorted samples: the median walk starts at index 5.
+	if got := l.splitKey(span); !got.Equal(tenantKey(2, "k05")) {
+		t.Fatalf("splitKey = %q, want k05", got)
+	}
+
+	// Below the minimum sample count the reservoir is not trusted.
+	few := newRangeLoad(2)
+	for i := 0; i < loadSplitMinSamples-1; i++ {
+		few.record(now, hl, 1, 0, tenantKey(2, fmt.Sprintf("k%02d", i)))
+	}
+	if got := few.splitKey(span); got != nil {
+		t.Fatalf("splitKey with %d samples = %q, want nil", loadSplitMinSamples-1, got)
+	}
+
+	// A single hot key equal to the span start cannot become a boundary.
+	hot := newRangeLoad(3)
+	for i := 0; i < 10; i++ {
+		hot.record(now, hl, 1, 0, span.Key)
+	}
+	if got := hot.splitKey(span); got != nil {
+		t.Fatalf("splitKey on single hot key = %q, want nil", got)
+	}
+
+	// Samples outside the span (pre-split leftovers) are ignored.
+	stale := newRangeLoad(4)
+	for i := 0; i < 10; i++ {
+		stale.record(now, hl, 1, 0, tenantKey(9, fmt.Sprintf("k%02d", i)))
+	}
+	if got := stale.splitKey(span); got != nil {
+		t.Fatalf("splitKey with out-of-span samples = %q, want nil", got)
+	}
+}
+
+func TestRangeLoadHalveAbsorb(t *testing.T) {
+	hl := 10 * time.Second
+	now := time.Unix(0, 0)
+	l := newRangeLoad(1)
+	for i := 0; i < 10; i++ {
+		l.record(now, hl, 1, 10, tenantKey(2, fmt.Sprintf("k%02d", i)))
+	}
+	right := newRangeLoad(2)
+	l.halve(tenantKey(2, "k05"), right)
+	if got := l.weightAt(now, hl); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("left weight = %v, want 5", got)
+	}
+	if got := right.weightAt(now, hl); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("right weight = %v, want 5", got)
+	}
+	if len(l.samples) != 5 || len(right.samples) != 5 {
+		t.Fatalf("sample partition = %d/%d, want 5/5", len(l.samples), len(right.samples))
+	}
+	for _, k := range l.samples {
+		if !k.Less(tenantKey(2, "k05")) {
+			t.Fatalf("left sample %q at or above split key", k)
+		}
+	}
+	for _, k := range right.samples {
+		if k.Less(tenantKey(2, "k05")) {
+			t.Fatalf("right sample %q below split key", k)
+		}
+	}
+	// Merge folds the signal back together.
+	l.absorb(right)
+	if got := l.weightAt(now, hl); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("absorbed weight = %v, want 10", got)
+	}
+	if len(l.samples) != 10 {
+		t.Fatalf("absorbed samples = %d, want 10", len(l.samples))
+	}
+}
+
+func TestBoundedMiddleKeyFallback(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	ctx := context.Background()
+	for i := 0; i < 11; i++ {
+		k := tenantKey(2, fmt.Sprintf("k%02d", i))
+		if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(k, "v")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := c.Node(1)
+	mid := boundedMiddleKey(n, keys.MakeTenantSpan(2))
+	if !mid.Equal(tenantKey(2, "k05")) {
+		t.Fatalf("boundedMiddleKey = %q, want k05", mid)
+	}
+	// An empty span has no midpoint.
+	if got := boundedMiddleKey(n, keys.MakeTenantSpan(7)); got != nil {
+		t.Fatalf("boundedMiddleKey on empty span = %q, want nil", got)
+	}
+}
+
+func TestLoadBasedSplit(t *testing.T) {
+	reg := metric.NewRegistry()
+	c := newLoadCluster(t, 3, ClusterConfig{
+		LoadSplitQPSThreshold: 0.5,
+		LoadHalfLife:          10 * time.Second,
+		RangeMetrics:          NewRangeMetrics(reg),
+	}, nil)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	ctx := context.Background()
+	before := len(c.Descriptors())
+	// Each single-request batch contributes one reservoir sample; well before
+	// 40 batches the decayed QPS crosses 0.5 and the range splits at the
+	// sample median.
+	for i := 0; i < 40; i++ {
+		k := tenantKey(2, fmt.Sprintf("k%02d", i))
+		if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(k, "v")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := len(c.Descriptors()); after <= before {
+		t.Fatalf("descriptors %d -> %d: no load split happened", before, after)
+	}
+	if got := c.cfg.RangeMetrics.LoadSplits.Value(); got < 1 {
+		t.Fatalf("kv.ranges.split.load = %d, want >= 1", got)
+	}
+	assertDirectoryPartitions(t, c)
+	// Data stays readable across the split.
+	for i := 0; i < 40; i++ {
+		k := tenantKey(2, fmt.Sprintf("k%02d", i))
+		resp, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{getReq(k)}})
+		if err != nil || !resp.Responses[0].Exists {
+			t.Fatalf("get %q after split: exists=%v err=%v", k, resp != nil && resp.Responses[0].Exists, err)
+		}
+	}
+}
+
+// assertDirectoryPartitions checks the range directory tiles the keyspace:
+// the first range starts at MinKey.Next(), the last ends at MaxKey, and each
+// range begins exactly where its predecessor ended.
+func assertDirectoryPartitions(t *testing.T, c *Cluster) {
+	t.Helper()
+	descs := c.Descriptors()
+	if len(descs) == 0 {
+		t.Fatal("no ranges")
+	}
+	if !descs[0].Span.Key.Equal(keys.MinKey.Next()) {
+		t.Fatalf("first range starts at %q, want MinKey.Next()", descs[0].Span.Key)
+	}
+	if !descs[len(descs)-1].Span.EndKey.Equal(keys.MaxKey) {
+		t.Fatalf("last range ends at %q, want MaxKey", descs[len(descs)-1].Span.EndKey)
+	}
+	for i := 1; i < len(descs); i++ {
+		if !descs[i].Span.Key.Equal(descs[i-1].Span.EndKey) {
+			t.Fatalf("gap/overlap between range %d (ends %q) and %d (starts %q)",
+				descs[i-1].RangeID, descs[i-1].Span.EndKey, descs[i].RangeID, descs[i].Span.Key)
+		}
+	}
+}
+
+func TestColdRangeMergeViaTick(t *testing.T) {
+	mc := timeutil.NewManualClock(time.Unix(10_000, 0))
+	reg := metric.NewRegistry()
+	c := newLoadCluster(t, 3, ClusterConfig{
+		MergeEnabled:          true,
+		MergeDelay:            10 * time.Second,
+		LoadSplitQPSThreshold: 100,
+		LeaseDuration:         time.Hour,
+		RangeMetrics:          NewRangeMetrics(reg),
+	}, mc)
+	if err := c.SplitAt(keys.MakeTenantPrefix(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(tenantKey(2, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Descriptors()); got != 3 {
+		t.Fatalf("ranges after splits = %d, want 3", got)
+	}
+	c.Tick() // drains needs-lease, queues merge checks (due in MergeDelay)
+	if got := len(c.Descriptors()); got != 3 {
+		t.Fatalf("merged before hysteresis delay: %d ranges", got)
+	}
+	mc.Advance(10 * time.Second)
+	c.Tick()
+	// The two tenant-2 ranges collapse; the range starting at MinKey.Next()
+	// has no tenant prefix and must refuse to merge.
+	if got := len(c.Descriptors()); got != 2 {
+		t.Fatalf("ranges after merge tick = %d, want 2", got)
+	}
+	if got := c.LastTickStats().Merges; got != 1 {
+		t.Fatalf("tick merges = %d, want 1", got)
+	}
+	if got := c.cfg.RangeMetrics.Merges.Value(); got != 1 {
+		t.Fatalf("kv.ranges.merged = %d, want 1", got)
+	}
+	assertDirectoryPartitions(t, c)
+	// The merged range has a leaseholder (the catch-up donor) and converged
+	// replicas.
+	if err := c.CatchUpReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range c.ReplicaStatuses() {
+		if st.Applied != st.Commit {
+			t.Fatalf("replica %d/%d applied %d != commit %d", st.RangeID, st.Node, st.Applied, st.Commit)
+		}
+	}
+}
+
+func TestMergeAtRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	ctx := context.Background()
+	put := func(s, v string) {
+		t.Helper()
+		if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(tenantKey(2, s), v)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", "1")
+	put("z", "2")
+	if err := c.SplitAt(keys.MakeTenantPrefix(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(tenantKey(2, "m")); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the split land in separate ranges.
+	put("b", "3")
+	put("y", "4")
+	before := len(c.Descriptors())
+	did, err := c.MergeAt(keys.MakeTenantPrefix(2))
+	if err != nil || !did {
+		t.Fatalf("MergeAt = (%v, %v), want (true, nil)", did, err)
+	}
+	if after := len(c.Descriptors()); after != before-1 {
+		t.Fatalf("descriptors %d -> %d, want one fewer", before, after)
+	}
+	assertDirectoryPartitions(t, c)
+	for s, v := range map[string]string{"a": "1", "z": "2", "b": "3", "y": "4"} {
+		resp, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{getReq(tenantKey(2, s))}})
+		if err != nil {
+			t.Fatalf("get %q after merge: %v", s, err)
+		}
+		if !resp.Responses[0].Exists || string(resp.Responses[0].Value) != v {
+			t.Fatalf("get %q after merge = %+v, want %q", s, resp.Responses[0], v)
+		}
+	}
+	// Writes keep working on the merged range.
+	put("c", "5")
+	resp, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{getReq(tenantKey(2, "c"))}})
+	if err != nil || !resp.Responses[0].Exists {
+		t.Fatalf("post-merge write not readable: %+v err=%v", resp, err)
+	}
+}
+
+func TestMergeRefusesTenantBoundary(t *testing.T) {
+	c := newTestCluster(t, 3)
+	if err := c.SplitAt(keys.MakeTenantPrefix(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(keys.MakeTenantPrefix(3)); err != nil {
+		t.Fatal(err)
+	}
+	before := len(c.Descriptors())
+	// The range [t2, t3) must not merge with [t3, max): no two tenants share
+	// a range.
+	did, err := c.MergeAt(keys.MakeTenantPrefix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Fatal("merge across a tenant boundary happened")
+	}
+	if got := len(c.Descriptors()); got != before {
+		t.Fatalf("descriptors changed %d -> %d", before, got)
+	}
+}
+
+func TestMergeRefusesDifferentReplicaSets(t *testing.T) {
+	c := newLoadCluster(t, 4, ClusterConfig{ReplicationFactor: 3}, nil)
+	if err := c.SplitAt(keys.MakeTenantPrefix(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(tenantKey(2, "m")); err != nil {
+		t.Fatal(err)
+	}
+	// Move one replica of the right range so the sets diverge.
+	var right *RangeDescriptor
+	for _, d := range c.Descriptors() {
+		if d.Span.Key.Equal(tenantKey(2, "m")) {
+			right = d
+		}
+	}
+	if right == nil {
+		t.Fatal("right range not found")
+	}
+	var to NodeID
+	for _, n := range c.Nodes() {
+		member := false
+		for _, r := range right.Replicas {
+			if r == n.id {
+				member = true
+			}
+		}
+		if !member {
+			to = n.id
+		}
+	}
+	if err := c.MoveReplica(right.RangeID, right.Replicas[0], to); err != nil {
+		t.Fatal(err)
+	}
+	did, err := c.MergeAt(keys.MakeTenantPrefix(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Fatal("merge with mismatched replica sets happened")
+	}
+}
+
+func TestTickVisitsOnlyChangedRanges(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	ctx := context.Background()
+	// Build up a bunch of ranges, then traffic on a few.
+	for i := 0; i < 8; i++ {
+		if err := c.SplitAt(tenantKey(2, fmt.Sprintf("s%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		k := tenantKey(2, fmt.Sprintf("s%02dx", i%3))
+		if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(k, "v")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Tick() // drains the changed set and any pending lease work
+	c.Tick() // nothing moved since: the tick must visit zero ranges
+	if got := c.LastTickStats(); got.RangesVisited != 0 {
+		t.Fatalf("idle tick visited %d ranges, want 0 (stats %+v)", got.RangesVisited, got)
+	}
+	// One more batch dirties exactly one range.
+	if _, err := ds.Send(ctx, &kvpb.BatchRequest{Tenant: 2, Requests: []kvpb.Request{putReq(tenantKey(2, "s05x"), "v")}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+	if got := c.LastTickStats().RangesVisited; got != 1 {
+		t.Fatalf("tick after one hot range visited %d, want 1", got)
+	}
+}
+
+func TestLoadAwareLeaseRebalance(t *testing.T) {
+	c := newLoadCluster(t, 3, ClusterConfig{LoadRebalancing: true}, nil)
+	if err := c.SplitAt(keys.MakeTenantPrefix(3)); err != nil {
+		t.Fatal(err)
+	}
+	now := c.clock.Now()
+	hl := c.cfg.LoadHalfLife
+	// Pin both leases on node 1 and make it carry all the load.
+	states := c.rangesByID()
+	if len(states) != 2 {
+		t.Fatalf("ranges = %d, want 2", len(states))
+	}
+	n1, _ := c.Node(1)
+	for _, rs := range states {
+		if err := rs.group.AcquireLease(1); err != nil {
+			t.Fatal(err)
+		}
+		c.idx.noteLease(rs.desc.RangeID, 1, c.renewAt())
+		rs.load.record(now, hl, 100, 0, nil)
+		c.markChanged(rs)
+		n1.leaseLoad.add(now, hl, 100)
+	}
+	c.Tick()
+	stats := c.LastTickStats()
+	if stats.LoadLeaseTransfers != 2 {
+		t.Fatalf("load lease transfers = %d, want 2 (stats %+v)", stats.LoadLeaseTransfers, stats)
+	}
+	// Both leases move off the doubly-hot node, and — because each transfer
+	// credits its target's counter before the next candidate is considered —
+	// they land on *different* cold nodes. Without the credit both would pick
+	// the same coldest node and just relocate the hotspot.
+	holders := make(map[NodeID]int)
+	for _, rs := range c.rangesByID() {
+		lh, ok := rs.group.Leaseholder()
+		if !ok {
+			t.Fatalf("range %d lost its lease", rs.desc.RangeID)
+		}
+		holders[lh]++
+	}
+	if holders[1] != 0 {
+		t.Fatalf("node 1 still holds %d leases, want 0 (holders %v)", holders[1], holders)
+	}
+	if holders[2] != 1 || holders[3] != 1 {
+		t.Fatalf("leases piled up instead of spreading: holders %v, want one each on nodes 2 and 3", holders)
+	}
+}
+
+func TestRebalanceReplicasPicksHottestRange(t *testing.T) {
+	c := newLoadCluster(t, 3, ClusterConfig{ReplicationFactor: 3}, nil)
+	if err := c.SplitAt(keys.MakeTenantPrefix(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(keys.MakeTenantPrefix(4)); err != nil {
+		t.Fatal(err)
+	}
+	cheap := CostConfig{
+		ReadBatchOverhead:  time.Nanosecond,
+		WriteBatchOverhead: time.Nanosecond,
+		ReadRequestCost:    time.Nanosecond,
+		WriteRequestCost:   time.Nanosecond,
+	}
+	n4 := NewNode(NodeConfig{ID: 4, VCPUs: 2, Cost: cheap})
+	if err := c.AddNode(n4); err != nil {
+		t.Fatal(err)
+	}
+	now := c.clock.Now()
+	hl := c.cfg.LoadHalfLife
+	var hot RangeID
+	for _, rs := range c.rangesByID() {
+		if rs.desc.Span.Key.Equal(keys.MakeTenantPrefix(3)) {
+			hot = rs.desc.RangeID
+			rs.load.record(now, hl, 50, 0, nil)
+		} else {
+			rs.load.record(now, hl, 5, 0, nil)
+		}
+	}
+	if moves := c.RebalanceReplicas(1); moves != 1 {
+		t.Fatalf("RebalanceReplicas moved %d, want 1", moves)
+	}
+	// The hottest range is the one that moved to the empty node.
+	hotRS := c.rangeByID(hot)
+	if hotRS == nil || !hasReplica(hotRS, 4) {
+		t.Fatalf("hottest range %d did not move to node 4", hot)
+	}
+	// Move correctness: the shifted replica's data matches and the index
+	// aggregates agree with the descriptors.
+	assertReplicaAggregates(t, c)
+}
+
+// assertReplicaAggregates cross-checks the maintenance index's per-node
+// replica counts against a brute-force recount from the directory — the
+// regression guard for the incremental-aggregate refactor.
+func assertReplicaAggregates(t *testing.T, c *Cluster) {
+	t.Helper()
+	want := make(map[NodeID]int)
+	for _, d := range c.Descriptors() {
+		for _, nid := range d.Replicas {
+			want[nid]++
+		}
+	}
+	got := c.ReplicaCounts()
+	for _, n := range c.Nodes() {
+		if got[n.id] != want[n.id] {
+			t.Fatalf("node %d: indexed replica count %d != recount %d (got %v want %v)",
+				n.id, got[n.id], want[n.id], got, want)
+		}
+	}
+}
+
+func TestAggregatesSurviveSplitMoveMergeDrain(t *testing.T) {
+	c := newLoadCluster(t, 4, ClusterConfig{ReplicationFactor: 3}, nil)
+	if err := c.SplitAt(keys.MakeTenantPrefix(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(tenantKey(2, "m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SplitAt(keys.MakeTenantPrefix(3)); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaAggregates(t, c)
+
+	// Merge the two tenant-2 ranges back.
+	if did, err := c.MergeAt(keys.MakeTenantPrefix(2)); err != nil || !did {
+		t.Fatalf("merge = (%v, %v)", did, err)
+	}
+	assertReplicaAggregates(t, c)
+
+	// Drain every replica off node 2.
+	if err := c.DrainNodeReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ReplicaCounts()[2]; got != 0 {
+		t.Fatalf("node 2 still has %d replicas after drain", got)
+	}
+	assertReplicaAggregates(t, c)
+
+	// Lease bookkeeping agrees with the replication groups after a tick.
+	c.Tick()
+	for _, rs := range c.rangesByID() {
+		lh, ok := rs.group.Leaseholder()
+		if !ok {
+			continue
+		}
+		idxLH, idxOK := c.idx.holderOf(rs.desc.RangeID)
+		if !idxOK || idxLH != lh {
+			t.Fatalf("range %d: index holder (%d, %v) != group leaseholder %d",
+				rs.desc.RangeID, idxLH, idxOK, lh)
+		}
+	}
+}
+
+func TestLoadReplicaMoveReachesColdNode(t *testing.T) {
+	// A split-up hot range's pieces inherit the parent's replica set, so when
+	// every replica peer is nearly as hot as the leaseholder no lease transfer
+	// helps — the load pass must move the replica itself to a cold non-member
+	// node, with the lease travelling along.
+	c := newLoadCluster(t, 5, ClusterConfig{LoadRebalancing: true, ReplicationFactor: 3}, nil)
+	if err := c.SplitAt(keys.MakeTenantPrefix(3)); err != nil {
+		t.Fatal(err)
+	}
+	now := c.clock.Now()
+	hl := c.cfg.LoadHalfLife
+	var rs *rangeState
+	for _, s := range c.rangesByID() {
+		if s.desc.Span.Key.Equal(keys.MakeTenantPrefix(3)) {
+			rs = s
+		}
+	}
+	if rs == nil {
+		t.Fatal("split range not found")
+	}
+	members := map[NodeID]bool{}
+	for _, nid := range rs.group.Replicas() {
+		members[nid] = true
+	}
+	lh := rs.group.Replicas()[0]
+	if err := rs.group.AcquireLease(lh); err != nil {
+		t.Fatal(err)
+	}
+	c.idx.noteLease(rs.desc.RangeID, lh, c.renewAt())
+	rs.load.record(now, hl, 20, 0, nil)
+	c.markChanged(rs)
+	// The leaseholder is scorching and its replica peers are nearly as hot,
+	// so no peer passes the transfer hysteresis; the non-member nodes stay
+	// cold.
+	for _, n := range c.Nodes() {
+		switch {
+		case n.id == lh:
+			n.leaseLoad.add(now, hl, 100)
+		case members[n.id]:
+			n.leaseLoad.add(now, hl, 95)
+		}
+	}
+	c.Tick()
+	stats := c.LastTickStats()
+	if stats.LoadReplicaMoves != 1 {
+		t.Fatalf("load replica moves = %d, want 1 (stats %+v)", stats.LoadReplicaMoves, stats)
+	}
+	if stats.LoadLeaseTransfers != 0 {
+		t.Fatalf("load lease transfers = %d, want 0 (stats %+v)", stats.LoadLeaseTransfers, stats)
+	}
+	moved := c.rangeByID(rs.desc.RangeID)
+	var target NodeID
+	for _, nid := range moved.group.Replicas() {
+		if nid == lh {
+			t.Fatalf("leaseholder %d still has a replica after the move", lh)
+		}
+		if !members[nid] {
+			target = nid
+		}
+	}
+	if target == 0 {
+		t.Fatalf("no replica landed outside the original set %v", moved.group.Replicas())
+	}
+	if got, ok := moved.group.Leaseholder(); !ok || got != target {
+		t.Fatalf("lease did not travel with the replica: holder %d ok=%v, want %d", got, ok, target)
+	}
+	assertReplicaAggregates(t, c)
+}
+
+func TestEffectiveLoadOccupancyInflation(t *testing.T) {
+	c := newLoadCluster(t, 1, ClusterConfig{}, nil)
+	n, _ := c.Node(1)
+	now := c.clock.Now()
+	hl := c.cfg.LoadHalfLife
+	n.leaseLoad.add(now, hl, 10)
+	if eff, infl := c.nodeLoad(n, now, hl); math.Abs(eff-10) > 0.01 || infl != 1 {
+		t.Fatalf("idle node: eff %.3f infl %.3f, want 10 and 1", eff, infl)
+	}
+	// An occupancy of 2 batches per vCPU doubles the congestion term:
+	// inflation 1 + 2 = 3.
+	n.waitLoad.add(now, hl, 2*float64(n.vcpus)*hl.Seconds()/math.Ln2)
+	if eff, infl := c.nodeLoad(n, now, hl); math.Abs(infl-3) > 0.01 || math.Abs(eff-30) > 0.1 {
+		t.Fatalf("queued node: eff %.3f infl %.3f, want 30 and 3", eff, infl)
+	}
+	// The multiplier is capped so one congested sample cannot dominate every
+	// comparison for a half-life.
+	n.waitLoad.add(now, hl, 1000*float64(n.vcpus)*hl.Seconds())
+	if _, infl := c.nodeLoad(n, now, hl); infl != 4 {
+		t.Fatalf("saturated node inflation %.3f, want capped at 4", infl)
+	}
+}
+
+func TestBatchPathFeedsWaitLoad(t *testing.T) {
+	c := newTestCluster(t, 3)
+	ds := NewDistSender(c, Identity{Tenant: 2})
+	if _, err := ds.Send(context.Background(), &kvpb.BatchRequest{
+		Tenant: 2, Requests: []kvpb.Request{putReq(tenantKey(2, "k"), "v")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, n := range c.Nodes() {
+		total += n.waitLoad.value(c.clock.Now(), c.cfg.LoadHalfLife)
+	}
+	if total <= 0 {
+		t.Fatal("no node accumulated wait load after a served batch")
+	}
+}

@@ -1,0 +1,55 @@
+package kvserver
+
+import "crdbserverless/internal/metric"
+
+// RangeMetrics counts range-management decisions: load and size splits,
+// cold-range merges, and load-driven lease transfers. All methods are
+// nil-receiver safe so clusters without a registry pay nothing.
+type RangeMetrics struct {
+	LoadSplits         *metric.Counter
+	SizeSplits         *metric.Counter
+	Merges             *metric.Counter
+	LeaseTransfersLoad *metric.Counter
+	ReplicaMovesLoad   *metric.Counter
+}
+
+// NewRangeMetrics registers the range-management counters on reg.
+func NewRangeMetrics(reg *metric.Registry) *RangeMetrics {
+	return &RangeMetrics{
+		LoadSplits:         reg.NewCounter("kv.ranges.split.load"),
+		SizeSplits:         reg.NewCounter("kv.ranges.split.size"),
+		Merges:             reg.NewCounter("kv.ranges.merged"),
+		LeaseTransfersLoad: reg.NewCounter("kv.leases.transferred.load"),
+		ReplicaMovesLoad:   reg.NewCounter("kv.replicas.moved.load"),
+	}
+}
+
+func (m *RangeMetrics) loadSplit() {
+	if m != nil {
+		m.LoadSplits.Inc(1)
+	}
+}
+
+func (m *RangeMetrics) sizeSplit() {
+	if m != nil {
+		m.SizeSplits.Inc(1)
+	}
+}
+
+func (m *RangeMetrics) merge() {
+	if m != nil {
+		m.Merges.Inc(1)
+	}
+}
+
+func (m *RangeMetrics) loadLeaseTransfer() {
+	if m != nil {
+		m.LeaseTransfersLoad.Inc(1)
+	}
+}
+
+func (m *RangeMetrics) loadReplicaMove() {
+	if m != nil {
+		m.ReplicaMovesLoad.Inc(1)
+	}
+}

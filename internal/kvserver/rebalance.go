@@ -51,29 +51,22 @@ func (c *Cluster) RemoveNode(id NodeID) error {
 	return nil
 }
 
-// replicaCount returns the number of range replicas on a node.
+// replicaCount returns the number of range replicas on a node — an O(1)
+// read of the maintenance index, not a cluster scan.
 func (c *Cluster) replicaCount(id NodeID) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	n := 0
-	for _, rs := range c.mu.ranges {
-		for _, r := range rs.desc.Replicas {
-			if r == id {
-				n++
-			}
-		}
-	}
-	return n
+	return c.idx.replicaCount(id)
 }
 
-// ReplicaCounts returns replicas per node across all ranges.
+// ReplicaCounts returns replicas per node across all ranges, read from the
+// incrementally-maintained per-node aggregates in O(nodes).
 func (c *Cluster) ReplicaCounts() map[NodeID]int {
-	out := make(map[NodeID]int)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, rs := range c.mu.ranges {
-		for _, r := range rs.desc.Replicas {
-			out[r]++
+	c.nodesMu.RLock()
+	ids := append([]NodeID(nil), c.nodesMu.nodeOrder...)
+	c.nodesMu.RUnlock()
+	out := make(map[NodeID]int, len(ids))
+	for _, id := range ids {
+		if n := c.idx.replicaCount(id); n > 0 {
+			out[id] = n
 		}
 	}
 	return out
@@ -208,6 +201,17 @@ func (c *Cluster) MoveReplica(rangeID RangeID, from, to NodeID) error {
 	rs.group = group
 	err = c.dir.replace(rangeID, newDesc)
 	c.mu.Unlock()
+	if err == nil {
+		// Keep the maintenance index in step: the replica moved, and the
+		// restored lease (if it took) has a new holder to track.
+		c.idx.moveReplica(rangeID, from, to)
+		if lh, ok := group.Leaseholder(); ok {
+			c.idx.noteLease(rangeID, lh, c.renewAt())
+		} else {
+			c.idx.markNeedsLease(rangeID)
+		}
+		c.markChanged(rs)
+	}
 	return err
 }
 
@@ -235,18 +239,22 @@ func copySpanData(src, dst *lsm.Engine, rs *rangeState) error {
 }
 
 // RebalanceReplicas moves up to maxMoves replicas from the most-loaded node
-// to the least-loaded live node. It returns the number of moves performed.
+// to the least-loaded live node, preferring the hottest movable range so
+// each move sheds as much load as possible. Per-node counts come from the
+// maintenance index (O(nodes)), and candidates from the most-loaded node's
+// replica set — never a cluster-wide scan. It returns the number of moves
+// performed.
 func (c *Cluster) RebalanceReplicas(maxMoves int) int {
+	now := c.clock.Now()
 	moves := 0
 	for moves < maxMoves {
-		counts := c.ReplicaCounts()
 		var maxNode, minNode NodeID
 		maxCount, minCount := -1, 1<<30
 		for _, n := range c.Nodes() {
 			if !n.Live() {
 				continue
 			}
-			cnt := counts[n.id]
+			cnt := c.idx.replicaCount(n.id)
 			if cnt > maxCount {
 				maxCount, maxNode = cnt, n.id
 			}
@@ -257,25 +265,23 @@ func (c *Cluster) RebalanceReplicas(maxMoves int) int {
 		if maxNode == 0 || minNode == 0 || maxNode == minNode || maxCount-minCount <= 1 {
 			return moves
 		}
-		// Find a range on maxNode without a replica on minNode.
+		// Among maxNode's ranges without a replica on minNode, pick the one
+		// carrying the most decayed load (ties break toward the lowest
+		// RangeID — the index iteration is already sorted).
 		var candidate RangeID
-		c.mu.RLock()
-		for id, rs := range c.mu.ranges {
-			onMax, onMin := false, false
-			for _, r := range rs.desc.Replicas {
-				if r == maxNode {
-					onMax = true
-				}
-				if r == minNode {
-					onMin = true
-				}
+		bestWeight := -1.0
+		for _, id := range c.idx.replicasOf(maxNode) {
+			rs := c.rangeByID(id)
+			if rs == nil {
+				continue
 			}
-			if onMax && !onMin {
-				candidate = id
-				break
+			if hasReplica(rs, minNode) {
+				continue
+			}
+			if w := rs.load.weightAt(now, c.cfg.LoadHalfLife); w > bestWeight {
+				bestWeight, candidate = w, id
 			}
 		}
-		c.mu.RUnlock()
 		if candidate == 0 {
 			return moves
 		}
@@ -289,41 +295,30 @@ func (c *Cluster) RebalanceReplicas(maxMoves int) int {
 
 // DrainNodeReplicas moves every replica off a node (preparing it for
 // removal), spreading them over the live nodes with the fewest replicas.
+// Candidates come straight from the node's replica set in the maintenance
+// index; targets from the per-node aggregates.
 func (c *Cluster) DrainNodeReplicas(id NodeID) error {
 	for {
-		// Find a range with a replica on the node.
-		var candidate RangeID
-		var members map[NodeID]bool
-		c.mu.RLock()
-		for rid, rs := range c.mu.ranges {
-			for _, r := range rs.desc.Replicas {
-				if r == id {
-					candidate = rid
-					members = make(map[NodeID]bool)
-					for _, m := range rs.desc.Replicas {
-						members[m] = true
-					}
-					break
-				}
-			}
-			if candidate != 0 {
-				break
-			}
-		}
-		c.mu.RUnlock()
-		if candidate == 0 {
+		candidates := c.idx.replicasOf(id)
+		if len(candidates) == 0 {
 			return nil
 		}
+		candidate := candidates[0]
+		rs := c.rangeByID(candidate)
+		if rs == nil {
+			// The range merged away between the index read and now; the
+			// unregister already dropped it from the set.
+			continue
+		}
 		// Target: live non-member with the fewest replicas.
-		counts := c.ReplicaCounts()
 		var target NodeID
 		best := 1 << 30
 		for _, n := range c.Nodes() {
-			if n.id == id || members[n.id] || !n.Live() {
+			if n.id == id || hasReplica(rs, n.id) || !n.Live() {
 				continue
 			}
-			if counts[n.id] < best {
-				best = counts[n.id]
+			if cnt := c.idx.replicaCount(n.id); cnt < best {
+				best = cnt
 				target = n.id
 			}
 		}
